@@ -1,0 +1,47 @@
+"""Dynamic vs static Warped-Slicer (paper §2.5 / Figure 4 context).
+
+The paper's dynamic Warped-Slicer profiles scalability curves during
+concurrent execution — which bakes cross-SM memory-system interference
+into the curves.  This bench compares the static (isolated profiling)
+and dynamic variants, with and without DMIL stacked on top.
+"""
+
+from conftest import run_once
+
+from repro.harness.reporting import format_table
+from repro.workloads.mixes import mix
+
+PAIRS = [("bp", "sv"), ("bp", "ks"), ("pf", "bp")]
+SCHEMES = ("ws", "dws", "ws-dmil", "dws-dmil")
+
+
+def bench_dynamic_ws(benchmark, runner):
+    def driver():
+        out = {}
+        for a, b in PAIRS:
+            for scheme in SCHEMES:
+                out[(f"{a}+{b}", scheme)] = runner.run_mix(mix(a, b), scheme)
+        return out
+
+    data = run_once(benchmark, driver)
+    rows = []
+    for (name, scheme), outcome in data.items():
+        rows.append([name, scheme, str(outcome.partition),
+                     outcome.weighted_speedup, outcome.antt,
+                     outcome.fairness])
+    print("\nDynamic vs static Warped-Slicer")
+    print(format_table(["mix", "scheme", "TBs/SM", "WS", "ANTT", "fairness"],
+                       rows, precision=3))
+
+    for a, b in PAIRS:
+        name = f"{a}+{b}"
+        static = data[(name, "ws")]
+        dynamic = data[(name, "dws")]
+        # both must produce valid partitions; dynamic profiling should
+        # land in the same performance neighbourhood as static
+        assert all(t >= 1 for t in dynamic.partition)
+        assert dynamic.weighted_speedup > 0.7 * static.weighted_speedup
+    # stacking DMIL on dynamic WS must not break anything and should
+    # keep its turnaround benefit on the memory-heavy pair
+    assert data[("bp+ks", "dws-dmil")].antt \
+        < data[("bp+ks", "dws")].antt * 1.10

@@ -1,0 +1,49 @@
+"""Figure 11 — QBMI vs DMIL vs QBMI+DMIL on top of Warped-Slicer.
+
+Regenerates weighted speedup plus per-kernel L1D miss and rsfail rates
+for the six case-study pairs.  Paper shape: the schemes tie on C+C;
+QBMI+DMIL ≈ DMIL (combining adds little, §3.4).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure11_qbmi_vs_dmil
+from repro.harness.reporting import format_table
+
+SCHEMES = ("ws-qbmi", "ws-dmil", "ws-qbmi+dmil")
+
+
+def bench_fig11(benchmark, runner):
+    sweep = run_once(benchmark, figure11_qbmi_vs_dmil, runner)
+    rows = []
+    for name in sweep.mixes():
+        row = [name, sweep.class_of(name)]
+        for scheme in SCHEMES:
+            row.append(sweep.outcome(name, scheme).weighted_speedup)
+        rows.append(row)
+    print("\nFigure 11(a) — weighted speedup")
+    print(format_table(["mix", "class", *SCHEMES], rows, precision=2))
+
+    rate_rows = []
+    for name in sweep.mixes():
+        for scheme in SCHEMES:
+            res = sweep.outcome(name, scheme).result
+            rate_rows.append([name, scheme,
+                              res.l1d_miss_rate(0), res.l1d_miss_rate(1),
+                              res.l1d_rsfail_rate(0), res.l1d_rsfail_rate(1)])
+    print("\nFigure 11(b,c) — L1D miss and rsfail rates")
+    print(format_table(["mix", "scheme", "miss_k0", "miss_k1",
+                        "rsfail_k0", "rsfail_k1"], rate_rows, precision=2))
+
+    for scheme in SCHEMES:
+        print(f"geomean WS {scheme}: "
+              f"{sweep.mean_metric(scheme, 'weighted_speedup'):.3f}  "
+              f"ANTT: {sweep.mean_metric(scheme, 'antt'):.3f}")
+
+    # C+C: all three schemes within a few percent of each other
+    cc = [sweep.mean_metric(s, "weighted_speedup", "C+C") for s in SCHEMES]
+    assert max(cc) / min(cc) < 1.1
+    # combining QBMI with DMIL adds little over DMIL alone (§3.4)
+    dmil = sweep.mean_metric("ws-dmil", "weighted_speedup")
+    both = sweep.mean_metric("ws-qbmi+dmil", "weighted_speedup")
+    assert abs(both - dmil) / dmil < 0.15

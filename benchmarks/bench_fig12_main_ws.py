@@ -1,0 +1,76 @@
+"""Figure 12 — main result on top of Warped-Slicer.
+
+Spatial / WS / WS-QBMI / WS-DMIL across representative pairs:
+weighted speedup, ANTT, fairness, L1D miss rate, rsfail rate, LSU
+stalls and compute utilization, per class and overall.
+
+Paper shape: QBMI and DMIL never hurt C+C; they improve ANTT and
+fairness substantially for C+M and M+M; DMIL reduces the L1D rsfail
+rate and LSU stalls.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import WS_SCHEMES, figure12_main
+from repro.harness.reporting import format_table
+
+
+def _mean_result_metric(sweep, scheme, fn, mix_class=None):
+    values = []
+    for name in sweep.mixes():
+        if mix_class and sweep.class_of(name) != mix_class:
+            continue
+        values.append(fn(sweep.outcome(name, scheme).result))
+    return sum(values) / len(values)
+
+
+def bench_fig12(benchmark, runner):
+    sweep = run_once(benchmark, figure12_main, runner)
+    classes = [*sweep.classes(), None]
+    for metric, better in (("weighted_speedup", "higher"),
+                           ("antt", "lower"), ("fairness", "higher")):
+        rows = []
+        for scheme in WS_SCHEMES:
+            row = [scheme]
+            for cls in classes:
+                row.append(sweep.mean_metric(scheme, metric, cls))
+            rows.append(row)
+        label = [c or "ALL" for c in classes]
+        print(f"\nFigure 12 — {metric} ({better} is better)")
+        print(format_table(["scheme", *label], rows, precision=3))
+
+    rows = []
+    for scheme in WS_SCHEMES:
+        rows.append([
+            scheme,
+            _mean_result_metric(sweep, scheme,
+                                lambda r: (r.l1d_miss_rate(0) + r.l1d_miss_rate(1)) / 2),
+            _mean_result_metric(sweep, scheme,
+                                lambda r: (r.l1d_rsfail_rate(0) + r.l1d_rsfail_rate(1)) / 2),
+            _mean_result_metric(sweep, scheme, lambda r: r.lsu_stall_pct()),
+            _mean_result_metric(sweep, scheme, lambda r: r.compute_utilization()),
+        ])
+    print("\nFigure 12(d-g) — machine statistics (means over all pairs)")
+    print(format_table(["scheme", "l1d_miss", "l1d_rsfail", "lsu_stall",
+                        "compute_util"], rows, precision=3))
+
+    ws_antt = sweep.mean_metric("ws", "antt")
+    qbmi_antt = sweep.mean_metric("ws-qbmi", "antt")
+    dmil_antt = sweep.mean_metric("ws-dmil", "antt")
+    print(f"\nANTT improvement over WS: QBMI {ws_antt / qbmi_antt - 1:+.1%}, "
+          f"DMIL {ws_antt / dmil_antt - 1:+.1%}")
+    print(f"Fairness improvement over WS: "
+          f"QBMI {sweep.improvement('ws-qbmi', 'ws', 'fairness'):+.1%}, "
+          f"DMIL {sweep.improvement('ws-dmil', 'ws', 'fairness'):+.1%}")
+    print(f"Weighted-speedup change over WS: "
+          f"QBMI {sweep.improvement('ws-qbmi', 'ws'):+.1%}, "
+          f"DMIL {sweep.improvement('ws-dmil', 'ws'):+.1%}")
+
+    # headline shapes
+    assert qbmi_antt < ws_antt * 1.02, "QBMI must not worsen turnaround"
+    assert dmil_antt < ws_antt, "DMIL improves average turnaround"
+    assert sweep.mean_metric("ws-dmil", "fairness") > \
+        sweep.mean_metric("ws", "fairness")
+    # intra-SM sharing beats spatial multitasking on C+C (paper §4.1.1)
+    assert sweep.mean_metric("ws", "weighted_speedup", "C+C") > \
+        sweep.mean_metric("spatial", "weighted_speedup", "C+C")

@@ -1,0 +1,31 @@
+"""Figure 13 — QBMI and DMIL on top of SMK.
+
+SMK-(P+W) vs SMK-(P+QBMI) vs SMK-(P+DMIL): weighted speedup and ANTT
+per class.  Paper shape: DMIL gives the largest gains, particularly
+for C+M; all three tie on C+C.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import SMK_SCHEMES, figure13_smk
+from repro.harness.reporting import format_table
+
+
+def bench_fig13(benchmark, runner):
+    sweep = run_once(benchmark, figure13_smk, runner)
+    classes = [*sweep.classes(), None]
+    labels = [c or "ALL" for c in classes]
+    for metric in ("weighted_speedup", "antt"):
+        rows = []
+        for scheme in SMK_SCHEMES:
+            rows.append([scheme] + [sweep.mean_metric(scheme, metric, cls)
+                                    for cls in classes])
+        print(f"\nFigure 13 — {metric}")
+        print(format_table(["scheme", *labels], rows, precision=3))
+
+    base_ws = sweep.mean_metric("smk-p+w", "weighted_speedup")
+    dmil_ws = sweep.mean_metric("smk-p+dmil", "weighted_speedup")
+    qbmi_ws = sweep.mean_metric("smk-p+qbmi", "weighted_speedup")
+    print(f"\nweighted-speedup change over SMK-(P+W): "
+          f"QBMI {qbmi_ws / base_ws - 1:+.1%}, DMIL {dmil_ws / base_ws - 1:+.1%}")
+    assert dmil_ws > base_ws, "SMK-(P+DMIL) must beat SMK-(P+W) on average"

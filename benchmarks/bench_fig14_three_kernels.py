@@ -1,0 +1,37 @@
+"""Figure 14 — 3-kernel concurrent execution (§4.2).
+
+WS / WS-QBMI / WS-DMIL on 3-kernel mixes per class.  Paper shape: the
+schemes scale beyond 2 kernels; DMIL keeps improving turnaround for
+classes containing memory-intensive kernels.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure14_three_kernels
+from repro.harness.reporting import format_table
+
+SCHEMES = ("ws", "ws-qbmi", "ws-dmil")
+
+
+def bench_fig14(benchmark, runner):
+    sweep = run_once(benchmark, figure14_three_kernels, runner)
+    rows = []
+    for name in sweep.mixes():
+        for scheme in SCHEMES:
+            out = sweep.outcome(name, scheme)
+            rows.append([name, out.mix_class, scheme, out.weighted_speedup,
+                         out.antt, out.fairness])
+    print("\nFigure 14 — 3-kernel workloads")
+    print(format_table(["mix", "class", "scheme", "WS", "ANTT", "fairness"],
+                       rows, precision=3))
+    for scheme in SCHEMES:
+        print(f"geomean {scheme}: WS "
+              f"{sweep.mean_metric(scheme, 'weighted_speedup'):.3f} "
+              f"ANTT {sweep.mean_metric(scheme, 'antt'):.3f}")
+
+    # mixes with a memory-intensive kernel benefit in turnaround
+    mixed = [name for name in sweep.mixes() if "M" in sweep.class_of(name)]
+    base = sum(sweep.outcome(n, "ws").antt for n in mixed)
+    dmil = sum(sweep.outcome(n, "ws-dmil").antt for n in mixed)
+    print(f"sum ANTT over M-containing mixes: ws {base:.2f} -> dmil {dmil:.2f}")
+    assert dmil < base * 1.05

@@ -1,0 +1,27 @@
+"""Figure 2 — computing resource utilization vs LSU stalls.
+
+Benchmarks sorted by decreasing ALU utilization; the paper's headline
+is the inverse relationship between utilization and LSU stall cycles.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure2_utilization
+from repro.harness.reporting import format_table
+
+
+def bench_fig2(benchmark, runner):
+    rows = run_once(benchmark, figure2_utilization, runner)
+    print("\nFigure 2 — utilization and LSU stalls (sorted by ALU util)")
+    print(format_table(
+        ["bench", "ALU_util", "SFU_util", "LSU_stall"],
+        [[r["name"], r["alu_utilization"], r["sfu_utilization"],
+          r["lsu_stall_pct"]] for r in rows],
+        precision=2,
+    ))
+    # the top half by ALU utilization must stall less than the bottom half
+    half = len(rows) // 2
+    top = sum(float(r["lsu_stall_pct"]) for r in rows[:half]) / half
+    bottom = sum(float(r["lsu_stall_pct"]) for r in rows[half:]) / (len(rows) - half)
+    print(f"mean LSU stall: top-util half {top:.2f} vs bottom half {bottom:.2f}")
+    assert top < bottom

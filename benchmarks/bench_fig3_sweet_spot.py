@@ -1,0 +1,26 @@
+"""Figure 3 — scalability curves and the Warped-Slicer sweet spot for
+bp+sv.
+
+Paper shape: bp's performance rises with TBs; sv's rises then falls;
+the sweet spot gives bp the larger share.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure3_sweet_spot
+from repro.harness.reporting import format_series
+
+
+def bench_fig3(benchmark, runner):
+    res = run_once(benchmark, figure3_sweet_spot, runner, "bp", "sv")
+    print(f"\nFigure 3 — scalability curves and sweet spot for {res.pair}")
+    print(format_series({name: values for name, values in res.curves.items()}))
+    print(f"sweet spot (TBs bp, sv): {res.partition}")
+    print(f"theoretical weighted speedup at sweet spot: {res.theoretical_ws:.2f}")
+
+    bp_curve = res.curves["bp"]
+    sv_curve = res.curves["sv"]
+    assert bp_curve[1] > bp_curve[0], "bp rises with more TBs"
+    peak = max(range(len(sv_curve)), key=lambda i: sv_curve[i])
+    assert peak < len(sv_curve) - 1, "sv peaks before max occupancy"
+    assert all(t >= 1 for t in res.partition)

@@ -1,0 +1,33 @@
+"""Figure 4 — theoretical vs achieved weighted speedup per class.
+
+Paper shape: C+C achieves close to the prediction; C+M and M+M fall
+well short because of intra-SM interference.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure4_gap, gap_by_class
+from repro.harness.reporting import format_table
+from repro.workloads.mixes import representative_pairs
+
+
+def bench_fig4(benchmark, runner):
+    rows = run_once(benchmark, figure4_gap, runner,
+                    pairs=representative_pairs(3))
+    print("\nFigure 4 — theoretical vs achieved weighted speedup")
+    print(format_table(
+        ["mix", "class", "theoretical", "achieved", "achieved/theoretical"],
+        [[r.mix_name, r.mix_class, r.theoretical, r.achieved,
+          r.achieved / r.theoretical] for r in rows],
+        precision=2,
+    ))
+    by_class = gap_by_class(rows)
+    print(format_table(
+        ["class", "theoretical", "achieved"],
+        [[cls, theo, ach] for cls, (theo, ach) in by_class.items()],
+        precision=2,
+    ))
+    # interference: on average the gap exists, and C+C is the closest class
+    ratios = {cls: ach / theo for cls, (theo, ach) in by_class.items()}
+    assert ratios["ALL"] < 1.0
+    assert ratios["C+C"] >= max(ratios["C+M"], ratios["M+M"]) - 0.05

@@ -1,0 +1,40 @@
+"""Figure 5 — UCP L1D cache partitioning does not help (negative
+result, §3.1).
+
+Regenerates weighted speedup plus per-kernel miss and rsfail rates for
+WS vs WS-L1D-Partition on the six case-study pairs.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure5_cache_partitioning
+from repro.harness.reporting import format_table
+
+
+def bench_fig5(benchmark, runner):
+    sweep = run_once(benchmark, figure5_cache_partitioning, runner)
+    rows = []
+    for name in sweep.mixes():
+        base = sweep.outcome(name, "ws")
+        ucp = sweep.outcome(name, "ws-ucp")
+        rows.append([
+            name, sweep.class_of(name),
+            base.weighted_speedup, ucp.weighted_speedup,
+            base.result.l1d_miss_rate(0), ucp.result.l1d_miss_rate(0),
+            base.result.l1d_miss_rate(1), ucp.result.l1d_miss_rate(1),
+            base.result.l1d_rsfail_rate(0), ucp.result.l1d_rsfail_rate(0),
+            base.result.l1d_rsfail_rate(1), ucp.result.l1d_rsfail_rate(1),
+        ])
+    print("\nFigure 5 — effectiveness of L1D cache partitioning (UCP)")
+    print(format_table(
+        ["mix", "class", "WS", "WS-L1DPart",
+         "miss_k0", "miss_k0'", "miss_k1", "miss_k1'",
+         "rsf_k0", "rsf_k0'", "rsf_k1", "rsf_k1'"],
+        rows, precision=2,
+    ))
+    mean_base = sweep.mean_metric("ws", "weighted_speedup")
+    mean_ucp = sweep.mean_metric("ws-ucp", "weighted_speedup")
+    print(f"geomean weighted speedup: WS {mean_base:.3f}  "
+          f"WS-L1DPartition {mean_ucp:.3f}")
+    # the negative result: no average improvement from partitioning
+    assert mean_ucp <= mean_base * 1.03

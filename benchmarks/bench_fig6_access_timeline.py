@@ -1,0 +1,28 @@
+"""Figure 6 — L1D access timelines: bp alone, sv alone, bp+sv shared.
+
+Paper shape: both kernels sustain similar access counts alone; running
+together, sv dominates the L1D and bp starves.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure6_timelines
+from repro.harness.reporting import format_series
+
+
+def bench_fig6(benchmark, runner):
+    series = run_once(benchmark, figure6_timelines, runner, "bp", "sv")
+    print("\nFigure 6 — L1D accesses per 1K cycles")
+    print(format_series(series, precision=0, max_points=20))
+
+    def steady(values):
+        tail = values[2:] or values
+        return sum(tail) / len(tail)
+
+    alone = steady(series["bp_alone"])
+    shared = steady(series["bp_shared"])
+    sv_shared = steady(series["sv_shared"])
+    print(f"bp steady-state accesses/1K: alone {alone:.0f} -> shared {shared:.0f}")
+    print(f"sv steady-state accesses/1K while shared: {sv_shared:.0f}")
+    assert shared < 0.8 * alone, "bp must starve on L1D access bandwidth"
+    assert sv_shared > shared, "sv dominates the shared L1D"

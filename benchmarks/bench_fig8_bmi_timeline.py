@@ -1,0 +1,29 @@
+"""Figure 8 — warp-instruction issue timelines under WS / WS-RBMI /
+WS-QBMI for bp+sv, plus the normalized IPC bars.
+
+Paper shape: RBMI and QBMI both let bp issue more instructions than
+plain WS; bp's normalized IPC rises while sv stays roughly stable.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure8_issue_timelines
+from repro.harness.reporting import format_series
+
+
+def bench_fig8(benchmark, runner):
+    data = run_once(benchmark, figure8_issue_timelines, runner, "bp", "sv")
+    print("\nFigure 8 — warp instructions issued per 1K cycles")
+    for scheme, series in data.items():
+        print(f"[{scheme}]")
+        print(format_series({
+            "bp": series["bp_insts"], "sv": series["sv_insts"],
+        }, precision=0, max_points=16))
+        norm = series["norm_ipc"]
+        print(f"normalized IPC: bp {norm[0]:.2f}  sv {norm[1]:.2f}")
+
+    bp_ws = data["ws"]["norm_ipc"][0]
+    bp_rbmi = data["ws-rbmi"]["norm_ipc"][0]
+    bp_qbmi = data["ws-qbmi"]["norm_ipc"][0]
+    assert bp_qbmi >= bp_ws * 0.98, "QBMI must not starve bp further"
+    assert max(bp_rbmi, bp_qbmi) > bp_ws, "BMI lifts the compute kernel"

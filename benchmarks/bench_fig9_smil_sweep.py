@@ -1,0 +1,56 @@
+"""Figure 9 — SMIL: weighted speedup vs static per-kernel in-flight
+limits for one workload per class.
+
+Paper shape: (a) C+C needs no limiting — performance rises with both
+limits; (b) C+M suffers when the memory kernel's limit is large;
+(c) M+M has an interior optimum with both kernels limited.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure9_smil_sweep, smil_optimum
+from repro.harness.reporting import format_table
+
+LIMITS = (1, 2, 4, 8, None)
+
+
+def _render(surface):
+    axis = [str(l) for l in LIMITS]
+    rows = [[f"k0={la}"] + [surface[(la, lb)] for lb in axis] for la in axis]
+    return format_table(["limits"] + [f"k1={lb}" for lb in axis], rows,
+                        precision=2)
+
+
+def _sweep(runner, a, b):
+    return figure9_smil_sweep(runner, a, b, limits=LIMITS)
+
+
+def bench_fig9a_cc(benchmark, runner):
+    surface = run_once(benchmark, _sweep, runner, "pf", "bp")
+    print("\nFigure 9(a) — SMIL sweep, C+C (pf+bp)")
+    print(_render(surface))
+    # no limiting needed: unlimited corner within 10% of the optimum
+    (opt, value) = smil_optimum(surface)
+    print(f"optimum at {opt}: {value:.2f}")
+    assert surface[("None", "None")] >= value * 0.9
+
+
+def bench_fig9b_cm(benchmark, runner):
+    surface = run_once(benchmark, _sweep, runner, "bp", "ks")
+    print("\nFigure 9(b) — SMIL sweep, C+M (bp+ks)")
+    print(_render(surface))
+    (opt, value) = smil_optimum(surface)
+    print(f"optimum at {opt}: {value:.2f}")
+    # limiting the memory-intensive kernel (k1) must beat no limiting
+    best_limited_k1 = max(surface[(la, lb)] for la in map(str, LIMITS)
+                          for lb in ("1", "2", "4"))
+    assert best_limited_k1 >= surface[("None", "None")] * 0.97
+
+
+def bench_fig9c_mm(benchmark, runner):
+    surface = run_once(benchmark, _sweep, runner, "sv", "ks")
+    print("\nFigure 9(c) — SMIL sweep, M+M (sv+ks)")
+    print(_render(surface))
+    (opt, value) = smil_optimum(surface)
+    print(f"optimum at {opt}: {value:.2f}")
+    assert value > 0

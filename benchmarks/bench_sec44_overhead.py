@@ -1,0 +1,28 @@
+"""§4.4 — hardware overhead of the proposed mechanisms.
+
+Counter/register bits for MILG (per kernel per SM) and QBMI, on the
+paper's 16-SM machine — showing the overhead is negligible.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import hardware_overhead
+from repro.harness.reporting import format_table
+
+
+def bench_overhead(benchmark):
+    cost = run_once(benchmark, hardware_overhead, 2, 16)
+    print("\n§4.4 — hardware overhead (2 kernels, 16 SMs)")
+    print(format_table(
+        ["component", "bits"],
+        [["MILG per kernel", cost["milg_per_kernel_bits"]],
+         ["MILG per SM", cost["milg_per_sm_bits"]],
+         ["MILG whole GPU", cost["milg_gpu_bits"]],
+         ["QBMI per SM", cost["qbmi_per_sm_bits"]],
+         ["QBMI whole GPU", cost["qbmi_gpu_bits"]]],
+    ))
+    # paper: 7-bit inflight + 12-bit rsfail + 10-bit request counters
+    assert cost["milg_per_kernel_bits"] == 7 + 12 + 10
+    # whole-GPU storage is well under a kilobyte per mechanism
+    assert cost["milg_gpu_bits"] < 8 * 1024
+    assert cost["qbmi_gpu_bits"] < 8 * 1024

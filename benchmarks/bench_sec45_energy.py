@@ -1,0 +1,51 @@
+"""§4.5 — energy efficiency.
+
+The paper claims that despite higher dynamic power (busier compute
+units), overall energy efficiency improves under the proposed schemes
+because leakage energy is amortised over more useful work.  With a
+fixed measurement window, leakage is constant, so instructions per
+unit energy must rise wherever a scheme raises throughput.
+"""
+
+from conftest import run_once
+
+from repro.harness.reporting import format_table
+from repro.metrics.energy import energy_report
+from repro.workloads.mixes import mix
+
+PAIRS = [("bp", "ks"), ("sv", "ks"), ("pf", "bp")]
+SCHEMES = ("ws", "ws-qbmi", "ws-dmil")
+
+
+def bench_energy(benchmark, runner):
+    def driver():
+        out = {}
+        for a, b in PAIRS:
+            for scheme in SCHEMES:
+                outcome = runner.run_mix(mix(a, b), scheme)
+                out[(f"{a}+{b}", scheme)] = (outcome,
+                                             energy_report(outcome.result))
+        return out
+
+    data = run_once(benchmark, driver)
+    rows = []
+    for (name, scheme), (outcome, report) in data.items():
+        rows.append([name, scheme, report.instructions,
+                     report.avg_power, report.insts_per_energy * 1000,
+                     report.leakage / report.total])
+    print("\n§4.5 — energy efficiency (arbitrary energy units)")
+    print(format_table(
+        ["mix", "scheme", "insts", "avg power", "insts/energy (x1e3)",
+         "leakage share"], rows, precision=3))
+
+    for a, b in PAIRS:
+        name = f"{a}+{b}"
+        base = data[(name, "ws")][1]
+        for scheme in ("ws-qbmi", "ws-dmil"):
+            rep = data[(name, scheme)][1]
+            # efficiency must track throughput: a scheme that issues
+            # more instructions in the window must not be less
+            # efficient (leakage amortisation, §4.5).
+            if rep.instructions >= base.instructions:
+                assert rep.insts_per_energy >= base.insts_per_energy * 0.95, (
+                    name, scheme)

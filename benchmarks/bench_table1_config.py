@@ -1,0 +1,41 @@
+"""Table 1 — baseline architecture configuration.
+
+Verifies the Table 1 machine description and reports the scaled
+configuration used by the experiments side by side.
+"""
+
+from conftest import run_once
+
+from repro.config import MAXWELL_CONFIG, scaled_config
+from repro.harness.reporting import format_table
+
+
+def bench_table1(benchmark):
+    def driver():
+        return MAXWELL_CONFIG, scaled_config()
+
+    paper, scaled = run_once(benchmark, driver)
+    rows = [
+        ["# SMs", paper.num_sms, scaled.num_sms],
+        ["warp size", paper.warp_size, scaled.warp_size],
+        ["schedulers/SM", paper.schedulers_per_sm, scaled.schedulers_per_sm],
+        ["threads/SM", paper.max_threads_per_sm, scaled.max_threads_per_sm],
+        ["warps/SM", paper.max_warps_per_sm, scaled.max_warps_per_sm],
+        ["TBs/SM", paper.max_tbs_per_sm, scaled.max_tbs_per_sm],
+        ["L1D bytes", paper.l1d.size_bytes, scaled.l1d.size_bytes],
+        ["L1D assoc", paper.l1d.assoc, scaled.l1d.assoc],
+        ["L1D MSHRs", paper.l1d.mshrs, scaled.l1d.mshrs],
+        ["L2 bytes", paper.l2.size_bytes, scaled.l2.size_bytes],
+        ["DRAM channels", paper.dram_channels, scaled.dram_channels],
+    ]
+    print("\nTable 1 — paper baseline vs scaled experiment machine")
+    print(format_table(["parameter", "paper", "scaled"], rows))
+    # the Table 1 values themselves
+    assert paper.num_sms == 16 and paper.l1d.mshrs == 128
+    assert paper.l1d.size_bytes == 24 * 1024 and paper.l1d.assoc == 6
+    assert paper.l2.size_bytes == 2 * 1024 * 1024
+    # scaling preserves warps-per-scheduler granularity and MSHR/warp order
+    assert scaled.max_warps_per_sm % scaled.schedulers_per_sm == 0
+    paper_ratio = paper.l1d.mshrs / paper.max_warps_per_sm
+    scaled_ratio = scaled.l1d.mshrs / scaled.max_warps_per_sm
+    assert 0.5 < scaled_ratio / paper_ratio < 4

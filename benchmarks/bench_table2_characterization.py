@@ -1,0 +1,32 @@
+"""Table 2 — benchmark characteristics on the scaled machine.
+
+Regenerates occupancy, instruction mix, L1D miss/rsfail rates and the
+C/M classification, next to the paper's reference values.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import classify_measured, table2_characteristics
+from repro.harness.reporting import format_table
+
+
+def bench_table2(benchmark, runner):
+    rows = run_once(benchmark, table2_characteristics, runner)
+    classes = classify_measured(rows)
+    table = format_table(
+        ["bench", "rf", "smem", "thr", "tb", "C/M inst", "Req/M",
+         "miss", "miss(paper)", "rsfail", "rsfail(paper)", "type", "type(paper)"],
+        [[r["name"], r["rf_oc"], r["smem_oc"], r["thread_oc"], r["tb_oc"],
+          r["cinst_per_minst"], r["req_per_minst"],
+          r["l1d_miss_rate"], r["paper"]["l1d_miss_rate"],
+          r["l1d_rsfail_rate"], r["paper"]["l1d_rsfail_rate"],
+          classes[str(r["name"])], r["paper"]["type"]]
+         for r in rows],
+        precision=2,
+    )
+    print("\nTable 2 — workload characterisation (measured vs paper)")
+    print(table)
+    mismatches = [r["name"] for r in rows
+                  if classes[str(r["name"])] != r["paper"]["type"]]
+    print(f"classification mismatches vs paper: {mismatches or 'none'}")
+    assert not mismatches

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Accelerate GPU Concurrent Kernel Execution
+by Mitigating Memory Pipeline Stalls" (Dai et al., HPCA 2018).
+
+A cycle-level GPU simulator with intra-SM concurrent kernel execution
+(CKE) plus the paper's mechanisms: balanced memory-request issuing
+(RBMI/QBMI), memory instruction limiting (SMIL/DMIL), UCP L1D cache
+partitioning, on top of Warped-Slicer / SMK / spatial-multitasking TB
+partitioners.
+
+Quickstart::
+
+    from repro import scaled_config, SchemeConfig
+    from repro.harness import run_pair
+
+    cfg = scaled_config()
+    outcome = run_pair("bp", "sv", SchemeConfig(mil="dmil"), cfg)
+    print(outcome.weighted_speedup)
+"""
+
+from repro.config import MAXWELL_CONFIG, CacheConfig, GPUConfig, scaled_config
+from repro.core.arbiter import SchemeConfig
+from repro.sim.engine import GPU, KernelLaunch, make_launches
+from repro.workloads import ALL_PROFILES, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "GPUConfig",
+    "MAXWELL_CONFIG",
+    "scaled_config",
+    "SchemeConfig",
+    "GPU",
+    "KernelLaunch",
+    "make_launches",
+    "ALL_PROFILES",
+    "get_profile",
+    "__version__",
+]

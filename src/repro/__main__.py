@@ -1,0 +1,116 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``characterize``
+    Isolated characterisation of all 13 benchmarks (Table 2 / Fig 2).
+``run A B [--scheme S] [--cycles N]``
+    One concurrent workload under one scheme.
+``report OUT.md [--quick]``
+    Full campaign report written to a markdown file.
+``schemes``
+    List the scheme names the harness understands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import scaled_config
+from repro.harness.reporting import format_table
+from repro.harness.runner import ExperimentRunner, RunnerSettings
+from repro.workloads.mixes import mix
+from repro.workloads.profiles import ALL_PROFILES
+
+SCHEME_HELP = [
+    ("spatial", "spatial multitasking (SM split)"),
+    ("leftover", "Hyper-Q style left-over policy"),
+    ("even", "naive even intra-SM TB split"),
+    ("ws", "Warped-Slicer sweet-spot TB partition"),
+    ("ws-rbmi / ws-qbmi", "+ balanced memory issuing (§3.2)"),
+    ("ws-dmil / ws-gdmil", "+ dynamic memory instruction limiting (§3.3.2)"),
+    ("ws-smil:3,1", "+ static limits, 'inf' for unlimited (§3.3.1)"),
+    ("ws-ucp", "+ UCP L1D way partitioning (§3.1)"),
+    ("ws-byp:0,1", "+ L1D bypassing for flagged kernels (§4.5)"),
+    ("smk-p+w", "SMK DRF partition + warp-instruction quotas"),
+    ("smk-p+qbmi / smk-p+dmil", "SMK-P + the paper's schemes"),
+]
+
+
+def cmd_characterize(_args) -> int:
+    runner = ExperimentRunner(scaled_config())
+    rows = []
+    for profile in ALL_PROFILES:
+        iso = runner.isolated(profile)
+        rows.append([profile.name, profile.kind, iso.ipc,
+                     iso.alu_utilization, iso.lsu_stall_pct,
+                     iso.l1d_miss_rate, iso.l1d_rsfail_rate])
+    rows.sort(key=lambda r: -r[3])
+    print(format_table(
+        ["bench", "type", "IPC", "ALU_util", "LSU_stall", "L1D_miss",
+         "rsfail"], rows, precision=2))
+    return 0
+
+
+def cmd_run(args) -> int:
+    runner = ExperimentRunner(scaled_config())
+    outcome = runner.run_mix(mix(args.a, args.b), args.scheme,
+                             cycles=args.cycles)
+    print(f"workload {outcome.mix_name} ({outcome.mix_class}) "
+          f"under {outcome.scheme}")
+    print(f"  TB partition/SM : {outcome.partition}")
+    for name, norm in zip((args.a, args.b), outcome.norm_ipcs):
+        print(f"  {name:>4} normalized IPC: {norm:.3f}")
+    print(f"  weighted speedup: {outcome.weighted_speedup:.3f}")
+    print(f"  ANTT            : {outcome.antt:.3f}")
+    print(f"  fairness        : {outcome.fairness:.3f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness.report import write_report
+    settings = (RunnerSettings(iso_cycles=3000, curve_cycles=2000,
+                               concurrent_cycles=4000)
+                if args.quick else None)
+    runner = ExperimentRunner(scaled_config(), settings)
+    write_report(args.out, runner, include_sweeps=not args.quick)
+    print(f"report written to {args.out}")
+    return 0
+
+
+def cmd_schemes(_args) -> int:
+    print(format_table(["scheme", "meaning"],
+                       [[a, b] for a, b in SCHEME_HELP]))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPCA'18 CKE memory-pipeline-stall reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("characterize").set_defaults(fn=cmd_characterize)
+
+    run = sub.add_parser("run")
+    run.add_argument("a")
+    run.add_argument("b")
+    run.add_argument("--scheme", default="ws-dmil")
+    run.add_argument("--cycles", type=int, default=None)
+    run.set_defaults(fn=cmd_run)
+
+    report = sub.add_parser("report")
+    report.add_argument("out")
+    report.add_argument("--quick", action="store_true")
+    report.set_defaults(fn=cmd_report)
+
+    sub.add_parser("schemes").set_defaults(fn=cmd_schemes)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Dynamic Warped-Slicer: online scalability profiling (paper §2.5).
+
+The static Warped-Slicer profiles each kernel alone; the *dynamic*
+variant obtains the scalability curves **during concurrent execution**
+by dedicating each SM to one kernel at a specific TB count ("1 TB on
+one SM, 2 TBs on a second SM and so on") and stepping through
+configurations.  Because the kernels run simultaneously on different
+SMs, the measured curves already include the cross-SM interference in
+the L2 and memory — the property the paper credits the dynamic
+approach with.
+
+This module drives one :class:`~repro.sim.engine.GPU` instance through
+
+1. a **profiling stage**: round ``r`` runs kernel ``k`` at ``r+1`` TBs
+   on SM ``k``; per-phase IPC samples (after a settle fraction) become
+   the curve points;
+2. the **sweet-spot reconfiguration**: the standard Warped-Slicer
+   selection over the measured curves;
+3. the **measurement stage**: all kernels share every SM at the chosen
+   partition; metrics are computed over this window only.
+
+The scaled machine has as many SMs as kernels for 2-kernel mixes; for
+larger mixes than SMs the paper time-shares SMs — we reject that case
+explicitly rather than model it (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.cke.partition import TBPartition
+from repro.cke.warped_slicer import ScalabilityCurve, sweet_spot
+from repro.core.arbiter import SchemeConfig
+from repro.sim.engine import GPU, make_launches
+from repro.sim.stats import RunResult
+from repro.workloads.kernel import KernelProfile
+
+
+@dataclass
+class DynamicWSResult:
+    """Everything the online procedure produced."""
+
+    curves: List[ScalabilityCurve]
+    partition: TBPartition
+    profiling_cycles: int
+    measure_cycles: int
+    #: per-kernel instructions issued during the measurement window.
+    window_insts: Dict[int, int]
+    result: RunResult
+
+    def window_ipc(self, slot: int) -> float:
+        return self.window_insts[slot] / self.measure_cycles
+
+
+class DynamicWarpedSlicer:
+    """Online profiling + reconfiguration controller."""
+
+    def __init__(self, profiles: Sequence[KernelProfile], config: GPUConfig,
+                 stack: Optional[SchemeConfig] = None,
+                 phase_cycles: int = 1200, settle_frac: float = 0.4,
+                 seed: int = 0):
+        if len(profiles) > config.num_sms:
+            raise ValueError(
+                "dynamic profiling dedicates one SM per kernel; "
+                f"{len(profiles)} kernels need >= {len(profiles)} SMs")
+        if not 0.0 <= settle_frac < 1.0:
+            raise ValueError("settle_frac must be in [0, 1)")
+        if phase_cycles < 10:
+            raise ValueError("phase_cycles too small to measure anything")
+        self.profiles = list(profiles)
+        self.config = config
+        self.stack = stack or SchemeConfig()
+        self.phase_cycles = phase_cycles
+        self.settle_frac = settle_frac
+        self.seed = seed
+        self._max_tbs = [p.max_tbs_per_sm(config) for p in self.profiles]
+
+    # ------------------------------------------------------------------
+    def _build_gpu(self) -> GPU:
+        # Start with every kernel disabled everywhere; phases enable.
+        zeros = [[0] * self.config.num_sms for _ in self.profiles]
+        launches = make_launches(self.profiles, zeros, self.config,
+                                 seed=self.seed)
+        return GPU(self.config, launches, self.stack)
+
+    def _profile(self, gpu: GPU) -> Tuple[List[ScalabilityCurve], int]:
+        num_kernels = len(self.profiles)
+        rounds = max(self._max_tbs)
+        points: List[List[float]] = [[] for _ in range(num_kernels)]
+        cycles_used = 0
+        for rnd in range(rounds):
+            # Configure: kernel k runs alone on SM k at (rnd+1) TBs.
+            for slot in range(num_kernels):
+                tbs = min(rnd + 1, self._max_tbs[slot])
+                for sm_id in range(self.config.num_sms):
+                    gpu.set_tb_limit(sm_id, slot,
+                                     tbs if sm_id == slot else 0)
+            settle = int(self.phase_cycles * self.settle_frac)
+            if settle:
+                gpu.run(settle)
+                cycles_used += settle
+            before = gpu.snapshot_insts()
+            window = self.phase_cycles - settle
+            gpu.run(window)
+            cycles_used += window
+            after = gpu.snapshot_insts()
+            for slot in range(num_kernels):
+                if rnd < self._max_tbs[slot]:
+                    ipc = (after[slot] - before[slot]) / window
+                    points[slot].append(ipc)
+        curves = [
+            ScalabilityCurve(profile.name, tuple(samples))
+            for profile, samples in zip(self.profiles, points)
+        ]
+        return curves, cycles_used
+
+    # ------------------------------------------------------------------
+    def execute(self, measure_cycles: int,
+                reconfigure_settle: int = 1000) -> DynamicWSResult:
+        """Run profiling, reconfigure to the sweet spot, and measure."""
+        if measure_cycles < 1:
+            raise ValueError("measure_cycles must be positive")
+        gpu = self._build_gpu()
+        curves, profiling_cycles = self._profile(gpu)
+        partition = sweet_spot(self.profiles, curves, self.config)
+
+        # Reconfigure: every SM hosts every kernel at the sweet spot.
+        for sm_id in range(self.config.num_sms):
+            for slot, tbs in enumerate(partition):
+                gpu.set_tb_limit(sm_id, slot, tbs)
+        if reconfigure_settle:
+            gpu.run(reconfigure_settle)
+
+        before = gpu.snapshot_insts()
+        result = gpu.run(measure_cycles)
+        after = gpu.snapshot_insts()
+        window = {slot: after[slot] - before[slot] for slot in before}
+        return DynamicWSResult(
+            curves=curves,
+            partition=partition,
+            profiling_cycles=profiling_cycles,
+            measure_cycles=measure_cycles,
+            window_insts=window,
+            result=result,
+        )

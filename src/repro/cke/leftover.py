@@ -1,0 +1,32 @@
+"""The left-over CKE policy (queue-based multiprogramming / Hyper-Q).
+
+Resources are assigned to the first kernel as much as possible; only
+the remainder hosts the second (and later) kernels.  The paper's §1
+motivates intra-SM sharing by the left-over policy's poor utilisation
+and lack of fairness — reproduced here as a baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import GPUConfig
+from repro.cke.partition import TBPartition, fits_together
+from repro.workloads.kernel import KernelProfile
+
+
+def leftover_partition(profiles: Sequence[KernelProfile],
+                       config: GPUConfig) -> TBPartition:
+    """Greedy in kernel order: kernel 0 takes its maximum, kernel 1
+    fills what is left, and so on.  Later kernels may receive zero
+    TBs — that is the point of the baseline."""
+    counts = [0] * len(profiles)
+    for i, profile in enumerate(profiles):
+        ceiling = profile.max_tbs_per_sm(config)
+        while counts[i] < ceiling:
+            trial = list(counts)
+            trial[i] += 1
+            if not fits_together(profiles, trial, config):
+                break
+            counts[i] += 1
+    return TBPartition(tuple(counts))

@@ -1,0 +1,106 @@
+"""Thread-block partition types and static-resource feasibility.
+
+A *TB partition* assigns each kernel a per-SM cap on resident thread
+blocks.  A partition is feasible when the combined static footprint
+(threads, warps, registers, shared memory, TB slots — the four
+resources SMK's DRF considers plus the TB-slot limit) fits one SM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.workloads.kernel import KernelProfile
+
+
+@dataclass(frozen=True)
+class TBPartition:
+    """Per-kernel TB caps applied identically on every shared SM."""
+
+    tbs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(t < 0 for t in self.tbs):
+            raise ValueError("TB counts must be non-negative")
+
+    def __iter__(self):
+        return iter(self.tbs)
+
+    def __len__(self) -> int:
+        return len(self.tbs)
+
+
+def _footprint(profile: KernelProfile, tbs: int, config: GPUConfig):
+    warps = profile.warps_per_tb(config.warp_size)
+    return (
+        tbs,
+        tbs * profile.threads_per_tb,
+        tbs * warps,
+        tbs * profile.threads_per_tb * profile.regs_per_thread,
+        tbs * profile.smem_per_tb,
+    )
+
+
+def fits_together(profiles: Sequence[KernelProfile], tbs: Sequence[int],
+                  config: GPUConfig) -> bool:
+    """True when the combined static footprint fits one SM."""
+    if len(profiles) != len(tbs):
+        raise ValueError("one TB count per kernel required")
+    totals = [0, 0, 0, 0, 0]
+    for profile, count in zip(profiles, tbs):
+        for i, used in enumerate(_footprint(profile, count, config)):
+            totals[i] += used
+    caps = (config.max_tbs_per_sm, config.max_threads_per_sm,
+            config.max_warps_per_sm, config.registers_per_sm,
+            config.smem_per_sm)
+    return all(total <= cap for total, cap in zip(totals, caps))
+
+
+def max_feasible(profiles: Sequence[KernelProfile], tbs: List[int],
+                 kernel: int, config: GPUConfig) -> int:
+    """Largest TB count for ``kernel`` given the others' counts."""
+    probe = list(tbs)
+    best = 0
+    for count in range(1, config.max_tbs_per_sm + 1):
+        probe[kernel] = count
+        if not fits_together(profiles, probe, config):
+            break
+        best = count
+    return best
+
+
+def feasible_partitions(profiles: Sequence[KernelProfile],
+                        config: GPUConfig,
+                        min_tbs: int = 1) -> Iterator[TBPartition]:
+    """Enumerate all feasible partitions with ≥ ``min_tbs`` TBs per
+    kernel (every kernel must make progress, as in the paper)."""
+    ceilings = [p.max_tbs_per_sm(config) for p in profiles]
+    if any(c < min_tbs for c in ceilings):
+        return
+    ranges = [range(min_tbs, c + 1) for c in ceilings]
+    for combo in itertools.product(*ranges):
+        if fits_together(profiles, combo, config):
+            yield TBPartition(tuple(combo))
+
+
+def even_partition(profiles: Sequence[KernelProfile],
+                   config: GPUConfig) -> TBPartition:
+    """A simple proportional split: walk kernels round-robin, granting
+    one TB at a time while the combined footprint fits."""
+    counts = [0] * len(profiles)
+    progress = True
+    while progress:
+        progress = False
+        for i in range(len(profiles)):
+            trial = list(counts)
+            trial[i] += 1
+            if trial[i] <= profiles[i].max_tbs_per_sm(config) \
+                    and fits_together(profiles, trial, config):
+                counts[i] += 1
+                progress = True
+    if any(c == 0 for c in counts):
+        raise ValueError("even partition could not give every kernel a TB")
+    return TBPartition(tuple(counts))

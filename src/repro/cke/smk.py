@@ -1,0 +1,76 @@
+"""SMK [45]: fine-grained intra-SM sharing via Dominant Resource
+Fairness, plus periodic warp-instruction quotas.
+
+* **SMK-P** (partitioning): thread blocks are granted one at a time to
+  the kernel whose *dominant share* — the maximum, over the four
+  static resources (registers, shared memory, threads, TB slots), of
+  the fraction it currently occupies — is smallest.  This equalises
+  static resource allocation across kernels with heterogeneous
+  footprints.
+
+* **SMK-W** (the "+W" in SMK-(P+W)): fair static allocation does not
+  imply fair progress, so SMK also grants each kernel a quota of warp
+  instructions per epoch, sized from isolated profiling so that each
+  kernel progresses proportionally to its isolated rate.  A kernel
+  that exhausts its quota stops issuing until all kernels have; the
+  gate itself lives in :class:`repro.core.arbiter.SMKQuotaGate`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.cke.partition import TBPartition, fits_together
+from repro.workloads.kernel import KernelProfile
+
+
+def _dominant_share(profile: KernelProfile, tbs: int, config: GPUConfig) -> float:
+    warps = profile.warps_per_tb(config.warp_size)
+    shares = (
+        tbs / config.max_tbs_per_sm,
+        tbs * profile.threads_per_tb / config.max_threads_per_sm,
+        tbs * warps / config.max_warps_per_sm,
+        tbs * profile.threads_per_tb * profile.regs_per_thread
+        / config.registers_per_sm,
+        (tbs * profile.smem_per_tb / config.smem_per_sm
+         if config.smem_per_sm else 0.0),
+    )
+    return max(shares)
+
+
+def drf_partition(profiles: Sequence[KernelProfile],
+                  config: GPUConfig) -> TBPartition:
+    """SMK-P: grant TBs one at a time to the kernel with the smallest
+    dominant share, while the combined footprint fits."""
+    counts: List[int] = [0] * len(profiles)
+    ceilings = [p.max_tbs_per_sm(config) for p in profiles]
+    while True:
+        candidates = []
+        for i, profile in enumerate(profiles):
+            if counts[i] >= ceilings[i]:
+                continue
+            trial = list(counts)
+            trial[i] += 1
+            if fits_together(profiles, trial, config):
+                candidates.append((_dominant_share(profile, counts[i], config), i))
+        if not candidates:
+            break
+        _, winner = min(candidates)
+        counts[winner] += 1
+    if any(c == 0 for c in counts):
+        raise ValueError("DRF could not give every kernel at least one TB")
+    return TBPartition(tuple(counts))
+
+
+def smk_quotas(isolated_ipcs: Sequence[float],
+               epoch_insts: int = 2048) -> Tuple[int, ...]:
+    """Warp-instruction quotas per epoch, proportional to each
+    kernel's isolated IPC (offline profiling, as in SMK-(P+W))."""
+    if epoch_insts < len(isolated_ipcs):
+        raise ValueError("epoch too small for the kernel count")
+    total = sum(isolated_ipcs)
+    if total <= 0:
+        raise ValueError("isolated IPCs must be positive")
+    return tuple(max(1, round(epoch_insts * ipc / total))
+                 for ipc in isolated_ipcs)

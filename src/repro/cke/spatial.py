@@ -1,0 +1,40 @@
+"""Spatial multitasking [2]: partition SMs, not SM internals.
+
+Each kernel receives a disjoint subset of SMs and runs at full
+occupancy there.  This provides isolation and fairness but leaves
+intra-SM resources (compute units of an SM running a memory-intensive
+kernel, and vice versa) underutilised — the gap intra-SM sharing
+targets (paper §1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.config import GPUConfig
+from repro.workloads.kernel import KernelProfile
+
+
+def spatial_masks(num_kernels: int, config: GPUConfig) -> List[Set[int]]:
+    """Split the SMs into ``num_kernels`` contiguous groups, as evenly
+    as possible (every kernel gets at least one SM)."""
+    if num_kernels < 1:
+        raise ValueError("need at least one kernel")
+    if config.num_sms < num_kernels:
+        raise ValueError(
+            f"{config.num_sms} SMs cannot host {num_kernels} kernels spatially")
+    base = config.num_sms // num_kernels
+    extra = config.num_sms % num_kernels
+    masks: List[Set[int]] = []
+    next_sm = 0
+    for i in range(num_kernels):
+        size = base + (1 if i < extra else 0)
+        masks.append(set(range(next_sm, next_sm + size)))
+        next_sm += size
+    return masks
+
+
+def spatial_tb_limits(profiles: Sequence[KernelProfile],
+                      config: GPUConfig) -> List[int]:
+    """Each kernel runs at its full isolated occupancy on its SMs."""
+    return [p.max_tbs_per_sm(config) for p in profiles]

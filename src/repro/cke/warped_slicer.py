@@ -1,0 +1,93 @@
+"""Warped-Slicer [46]: scalability-curve-driven TB partitioning.
+
+Warped-Slicer profiles each kernel's performance as a function of its
+resident TB count (the *scalability curve*, paper Figure 3a) and then
+picks the feasible TB combination whose worst per-kernel performance
+degradation is minimal (the *sweet spot*, Figure 3b).
+
+Two profiling modes exist in the paper; both feed the same sweet-spot
+search:
+
+* **static** — profile each kernel in isolation (one simulator run per
+  TB count; cached by the harness);
+* **dynamic** — profile during concurrent execution by giving each SM
+  a different TB count.  Our scaled machine has too few SMs to run all
+  configurations simultaneously, so the harness time-multiplexes
+  profiling runs, which is the same information at the same cost in
+  simulated cycles (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.cke.partition import TBPartition, feasible_partitions
+from repro.workloads.kernel import KernelProfile
+
+
+@dataclass(frozen=True)
+class ScalabilityCurve:
+    """IPC per TB count (index 0 ↔ 1 TB) for one kernel, plus the
+    isolated default-occupancy IPC used for normalisation."""
+
+    kernel: str
+    ipc_by_tbs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ipc_by_tbs:
+            raise ValueError("curve needs at least one point")
+        if any(v < 0 for v in self.ipc_by_tbs):
+            raise ValueError("IPC cannot be negative")
+
+    @property
+    def max_tbs(self) -> int:
+        return len(self.ipc_by_tbs)
+
+    @property
+    def isolated_ipc(self) -> float:
+        """IPC at default (maximum) occupancy — the paper's
+        normalisation baseline."""
+        return self.ipc_by_tbs[-1]
+
+    def ipc(self, tbs: int) -> float:
+        if not 1 <= tbs <= self.max_tbs:
+            raise ValueError(f"tbs must be in [1, {self.max_tbs}]")
+        return self.ipc_by_tbs[tbs - 1]
+
+    def normalized(self, tbs: int) -> float:
+        iso = self.isolated_ipc
+        return self.ipc(tbs) / iso if iso else 0.0
+
+
+def sweet_spot(profiles: Sequence[KernelProfile],
+               curves: Sequence[ScalabilityCurve],
+               config: GPUConfig) -> TBPartition:
+    """The Warped-Slicer selection: over all feasible partitions,
+    maximise the minimum normalised per-kernel IPC (equivalently,
+    minimise the worst per-kernel degradation), breaking ties by the
+    larger predicted weighted speedup."""
+    if len(profiles) != len(curves):
+        raise ValueError("one curve per kernel required")
+    best: Optional[TBPartition] = None
+    best_key: Tuple[float, float] = (-1.0, -1.0)
+    for partition in feasible_partitions(profiles, config):
+        norms = [curve.normalized(tbs)
+                 for curve, tbs in zip(curves, partition)]
+        key = (min(norms), sum(norms))
+        if key > best_key:
+            best_key = key
+            best = partition
+    if best is None:
+        raise ValueError(
+            "no feasible TB partition gives every kernel at least one TB")
+    return best
+
+
+def theoretical_weighted_speedup(curves: Sequence[ScalabilityCurve],
+                                 partition: TBPartition) -> float:
+    """The predicted (interference-free) weighted speedup at a
+    partition — the paper's "theoretical" bar in Figure 4."""
+    return sum(curve.normalized(tbs)
+               for curve, tbs in zip(curves, partition))

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: balanced memory-request issuing
+(BMI: RBMI/QBMI, §3.2), memory instruction limiting (MIL: SMIL/DMIL
+with the MILG generator, §3.3), and the UCP L1D cache-partitioning
+comparison point (§3.1)."""
+
+from repro.core.bmi import (
+    MemIssuePolicy,
+    QuotaBMI,
+    ReqPerMinstEstimator,
+    RoundRobinBMI,
+    UnmanagedIssue,
+    compute_quotas,
+)
+from repro.core.mil import MILG, DynamicLimiter, MemInstLimiter, NoLimit, StaticLimiter
+from repro.core.cache_partition import ShadowTagArray, UCPController, lookahead_partition
+from repro.core.arbiter import SchemeBundle, SchemeConfig, SMKQuotaGate
+
+__all__ = [
+    "MemIssuePolicy",
+    "UnmanagedIssue",
+    "RoundRobinBMI",
+    "QuotaBMI",
+    "ReqPerMinstEstimator",
+    "compute_quotas",
+    "MILG",
+    "MemInstLimiter",
+    "NoLimit",
+    "StaticLimiter",
+    "DynamicLimiter",
+    "ShadowTagArray",
+    "UCPController",
+    "lookahead_partition",
+    "SchemeBundle",
+    "SchemeConfig",
+    "SMKQuotaGate",
+]

@@ -1,0 +1,25 @@
+"""Experiment harness: cached isolated profiling, the scheme registry
+(spatial / leftover / WS / SMK × BMI / MIL / UCP), and one driver per
+paper table/figure."""
+
+from repro.harness.runner import (
+    ExperimentRunner,
+    IsoRecord,
+    RunnerSettings,
+    WorkloadOutcome,
+    run_pair,
+)
+from repro.harness.reporting import format_series, format_table, geomean
+from repro.harness import experiments
+
+__all__ = [
+    "ExperimentRunner",
+    "RunnerSettings",
+    "IsoRecord",
+    "WorkloadOutcome",
+    "run_pair",
+    "format_table",
+    "format_series",
+    "geomean",
+    "experiments",
+]

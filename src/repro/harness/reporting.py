@@ -1,0 +1,65 @@
+"""Plain-text tables and series for the experiment drivers.
+
+The paper's figures are bar/line charts; the drivers regenerate the
+underlying rows/series and these helpers render them the way the
+benches and ``EXPERIMENTS.md`` present them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _fmt(value, width: int, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.{precision}f}"
+    return f"{value!s:>{width}}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 precision: int = 3) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        cells = []
+        for i, cell in enumerate(row):
+            text = _fmt(cell, widths[i], precision).strip()
+            widths[i] = max(widths[i], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = ["  ".join(h.rjust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(cells)))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, Sequence[Number]], precision: int = 2,
+                  max_points: int = 40) -> str:
+    """Render named numeric series (timeline/curve data) compactly."""
+    lines = []
+    for name, values in series.items():
+        vals = list(values)
+        if len(vals) > max_points:
+            step = len(vals) / max_points
+            vals = [vals[int(i * step)] for i in range(max_points)]
+        body = " ".join(f"{v:.{precision}f}" if isinstance(v, float) else str(v)
+                        for v in vals)
+        lines.append(f"{name}: {body}")
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper averages weighted speedups this way)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        raise ValueError("geomean needs positive values")
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,23 @@
+"""Memory hierarchy substrate: L1D/L2 caches with MSHRs and miss
+queues (including the reservation-failure semantics the paper's DMIL
+scheme keys on), a crossbar interconnect, and FR-FCFS-like DRAM
+channels."""
+
+from repro.mem.mshr import MSHRFile
+from repro.mem.cache import AccessResult, CacheStats, L1DCache, SetAssocCache
+from repro.mem.interconnect import Interconnect
+from repro.mem.dram import DRAMChannel, DRAMModel
+from repro.mem.subsystem import MemRequest, MemorySubsystem
+
+__all__ = [
+    "MSHRFile",
+    "AccessResult",
+    "CacheStats",
+    "SetAssocCache",
+    "L1DCache",
+    "Interconnect",
+    "DRAMChannel",
+    "DRAMModel",
+    "MemRequest",
+    "MemorySubsystem",
+]

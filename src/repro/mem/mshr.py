@@ -1,0 +1,91 @@
+"""Miss Status Handling Registers.
+
+An MSHR entry tracks one outstanding missed cache line.  A *primary*
+miss allocates a new entry (and is the access that travels to the next
+level); *secondary* misses to the same line merge into the existing
+entry up to ``merge_limit`` waiters.  The entry is released when the
+fill returns — exactly the paper's §2.1 description ("the allocated
+MSHR is reserved until the data is fetched from the L2 cache/off-chip
+memory").
+
+Running out of entries (or of merge slots) is one of the reservation-
+failure causes that stall the memory pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class MSHREntry:
+    __slots__ = ("line_addr", "kernel", "waiters")
+
+    def __init__(self, line_addr: int, kernel: int):
+        self.line_addr = line_addr
+        self.kernel = kernel
+        self.waiters: List[object] = []
+
+
+class MSHRFile:
+    """A fixed-capacity pool of MSHR entries keyed by line address."""
+
+    def __init__(self, capacity: int, merge_limit: int = 8):
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self.merge_limit = merge_limit
+        self._entries: Dict[int, MSHREntry] = {}
+        #: high-water mark of simultaneously allocated entries.
+        self.peak_used = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_addr)
+
+    def can_allocate(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def can_merge(self, line_addr: int) -> bool:
+        entry = self._entries.get(line_addr)
+        return entry is not None and len(entry.waiters) < self.merge_limit
+
+    def allocate(self, line_addr: int, kernel: int, waiter: object) -> MSHREntry:
+        """Allocate an entry for a primary miss."""
+        if line_addr in self._entries:
+            raise RuntimeError(f"MSHR for line {line_addr:#x} already allocated")
+        if self.full:
+            raise RuntimeError("MSHR file full")
+        entry = MSHREntry(line_addr, kernel)
+        entry.waiters.append(waiter)
+        self._entries[line_addr] = entry
+        if len(self._entries) > self.peak_used:
+            self.peak_used = len(self._entries)
+        return entry
+
+    def merge(self, line_addr: int, waiter: object) -> MSHREntry:
+        """Attach a secondary miss to an outstanding entry."""
+        entry = self._entries[line_addr]
+        if len(entry.waiters) >= self.merge_limit:
+            raise RuntimeError("MSHR merge limit exceeded")
+        entry.waiters.append(waiter)
+        return entry
+
+    def release(self, line_addr: int) -> MSHREntry:
+        """Free the entry when its fill returns; the caller notifies
+        the returned waiters."""
+        try:
+            return self._entries.pop(line_addr)
+        except KeyError:
+            raise RuntimeError(f"no MSHR outstanding for line {line_addr:#x}") from None
+
+    def occupancy_by_kernel(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for entry in self._entries.values():
+            out[entry.kernel] = out.get(entry.kernel, 0) + 1
+        return out

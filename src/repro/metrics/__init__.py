@@ -1,0 +1,20 @@
+"""Multiprogramming metrics used throughout the paper's evaluation,
+plus the §4.5 event-based energy model."""
+
+from repro.metrics.energy import EnergyModel, EnergyReport, energy_report
+from repro.metrics.speedup import (
+    antt,
+    fairness,
+    normalized_ipcs,
+    weighted_speedup,
+)
+
+__all__ = [
+    "normalized_ipcs",
+    "weighted_speedup",
+    "antt",
+    "fairness",
+    "EnergyModel",
+    "EnergyReport",
+    "energy_report",
+]

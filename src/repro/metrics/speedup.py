@@ -1,0 +1,53 @@
+"""Weighted speedup, ANTT and fairness (paper §2.3, after [10]).
+
+All metrics build on the per-kernel *normalized IPC*: IPC during
+concurrent execution divided by IPC when the kernel runs alone at its
+default occupancy.
+
+* **Weighted speedup** — Σᵢ normalized_ipcᵢ (higher is better; equals
+  the kernel count under perfect sharing).
+* **ANTT** — average normalized turnaround time, (1/n)·Σᵢ
+  (1/normalized_ipcᵢ): the mean user-perceived slowdown (lower is
+  better).
+* **Fairness** — min(normalized_ipc) / max(normalized_ipc) (higher is
+  better; 1.0 means all kernels slow down equally).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def normalized_ipcs(shared_ipcs: Sequence[float],
+                    isolated_ipcs: Sequence[float]) -> List[float]:
+    """Per-kernel speedups of concurrent over isolated execution."""
+    if len(shared_ipcs) != len(isolated_ipcs):
+        raise ValueError("one isolated IPC per kernel required")
+    if any(ipc <= 0 for ipc in isolated_ipcs):
+        raise ValueError("isolated IPCs must be positive")
+    return [s / i for s, i in zip(shared_ipcs, isolated_ipcs)]
+
+
+def weighted_speedup(norm_ipcs: Sequence[float]) -> float:
+    if not norm_ipcs:
+        raise ValueError("need at least one kernel")
+    return float(sum(norm_ipcs))
+
+
+def antt(norm_ipcs: Sequence[float]) -> float:
+    """Average Normalized Turnaround Time (lower is better)."""
+    if not norm_ipcs:
+        raise ValueError("need at least one kernel")
+    if any(n <= 0 for n in norm_ipcs):
+        return float("inf")
+    return sum(1.0 / n for n in norm_ipcs) / len(norm_ipcs)
+
+
+def fairness(norm_ipcs: Sequence[float]) -> float:
+    """Lowest over highest normalized IPC (higher is better)."""
+    if not norm_ipcs:
+        raise ValueError("need at least one kernel")
+    top = max(norm_ipcs)
+    if top <= 0:
+        return 0.0
+    return min(norm_ipcs) / top

@@ -1,0 +1,172 @@
+"""Top-level GPU engine: ties SMs, the memory subsystem and the scheme
+stack together and runs the measurement window.
+
+As in the paper's methodology (§2.3), kernels are modelled as an
+endless stream of thread blocks for the duration of the window
+(equivalent to "a kernel will restart if it completes before 2M
+cycles"), and per-kernel IPC is measured over the whole window.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.config import GPUConfig
+from repro.core.arbiter import SchemeConfig
+from repro.mem.subsystem import MemorySubsystem
+from repro.sim.sm import StreamingMultiprocessor
+from repro.sim.stats import KernelStats, RunResult, TimelineRecorder
+from repro.workloads.kernel import InstructionStream, KernelProfile
+
+#: address-space stride separating kernel instances (in lines).
+KERNEL_REGION_LINES = 1 << 40
+
+
+class KernelLaunch:
+    """One kernel instance in a run: profile + per-SM TB limits +
+    private address region + deterministic stream seeding."""
+
+    def __init__(self, slot: int, profile: KernelProfile,
+                 tb_limits: Sequence[int], seed: int = 0):
+        self.slot = slot
+        self.profile = profile
+        self.tb_limits = list(tb_limits)
+        self.seed = seed
+        self.base_line = slot * KERNEL_REGION_LINES
+        self.pattern = profile.pattern_factory()
+        self._warp_counter = itertools.count()
+
+    def next_warp_index(self) -> int:
+        return next(self._warp_counter)
+
+    def new_stream(self, warp_index: int) -> InstructionStream:
+        return InstructionStream(self.profile, self.pattern, warp_index,
+                                 seed=self.seed * 7919 + self.slot)
+
+
+def make_launches(
+    profiles: Sequence[KernelProfile],
+    tb_limits: Sequence[Union[int, Sequence[int]]],
+    config: GPUConfig,
+    sm_masks: Optional[Sequence[Optional[Set[int]]]] = None,
+    seed: int = 0,
+) -> List[KernelLaunch]:
+    """Build launches from per-kernel TB limits.
+
+    ``tb_limits[i]`` is either a single per-SM limit or a per-SM list.
+    ``sm_masks[i]`` (optional) restricts kernel *i* to a subset of SMs
+    (spatial multitasking); on masked-out SMs the limit is forced to 0.
+    """
+    if len(profiles) != len(tb_limits):
+        raise ValueError("one TB limit per kernel required")
+    launches = []
+    for slot, (profile, limit) in enumerate(zip(profiles, tb_limits)):
+        if isinstance(limit, int):
+            per_sm = [limit] * config.num_sms
+        else:
+            per_sm = list(limit)
+            if len(per_sm) != config.num_sms:
+                raise ValueError("per-SM limit list length must equal num_sms")
+        if sm_masks is not None and sm_masks[slot] is not None:
+            mask = sm_masks[slot]
+            per_sm = [lim if sm in mask else 0 for sm, lim in enumerate(per_sm)]
+        launches.append(KernelLaunch(slot, profile, per_sm, seed))
+    return launches
+
+
+class GPU:
+    """A configured GPU ready to simulate one measurement window."""
+
+    def __init__(self, config: GPUConfig, launches: List[KernelLaunch],
+                 scheme: Optional[SchemeConfig] = None,
+                 timeline_interval: Optional[int] = None):
+        if not launches:
+            raise ValueError("need at least one kernel launch")
+        self.config = config
+        self.launches = launches
+        self.scheme = scheme or SchemeConfig()
+        self.memory = MemorySubsystem(config)
+        self.timeline = (TimelineRecorder(timeline_interval)
+                         if timeline_interval else None)
+        self.kernel_stats: Dict[int, KernelStats] = {
+            launch.slot: KernelStats() for launch in launches
+        }
+        self.sms: List[StreamingMultiprocessor] = []
+        shared_scheme_state: Dict[str, object] = {}
+        for sm_id in range(config.num_sms):
+            l1 = self.memory.l1s[sm_id]
+            bundle = self.scheme.build(len(launches), config, l1.tags,
+                                       shared=shared_scheme_state,
+                                       sm_id=sm_id)
+            self.sms.append(StreamingMultiprocessor(
+                sm_id, config, l1, launches, bundle,
+                self.kernel_stats, self.timeline))
+        self.cycles_run = 0
+
+    def set_tb_limit(self, sm_id: int, slot: int, limit: int) -> None:
+        """Reconfigure one kernel's TB cap on one SM at runtime
+        (dynamic Warped-Slicer; resident TBs above the new cap drain
+        naturally — no preemption)."""
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        self.sms[sm_id].kstate[slot].tb_limit = limit
+
+    def snapshot_insts(self) -> Dict[int, int]:
+        """Per-kernel instruction counters (for window measurements)."""
+        return {slot: stats.warp_insts
+                for slot, stats in self.kernel_stats.items()}
+
+    def run(self, max_cycles: int) -> RunResult:
+        """Simulate ``max_cycles`` core cycles and collect results."""
+        if max_cycles < 1:
+            raise ValueError("max_cycles must be positive")
+        memory = self.memory
+        sms = self.sms
+        start = self.cycles_run
+        for cycle in range(start, start + max_cycles):
+            memory.tick(cycle)
+            for sm in sms:
+                sm.tick(cycle)
+        self.cycles_run = start + max_cycles
+        return self._collect()
+
+    def _collect(self) -> RunResult:
+        cfg = self.config
+        cycles = self.cycles_run
+        slots = [launch.slot for launch in self.launches]
+        accesses = {s: 0 for s in slots}
+        hits = {s: 0 for s in slots}
+        misses = {s: 0 for s in slots}
+        rsfails = {s: 0 for s in slots}
+        for l1 in self.memory.l1s:
+            for s in slots:
+                accesses[s] += l1.stats.accesses.get(s, 0)
+                hits[s] += l1.stats.hits.get(s, 0)
+                misses[s] += l1.stats.misses.get(s, 0)
+                rsfails[s] += l1.stats.rsfails.get(s, 0)
+        result = RunResult(
+            cycles=cycles,
+            kernel_names=[launch.profile.name for launch in self.launches],
+            kernels=self.kernel_stats,
+            l1d_accesses=accesses,
+            l1d_hits=hits,
+            l1d_misses=misses,
+            l1d_rsfails=rsfails,
+            lsu_stall_cycles=sum(sm.lsu.stall_cycles for sm in self.sms),
+            lsu_busy_cycles=sum(sm.lsu.busy_cycles for sm in self.sms),
+            alu_busy=sum(sm.alu_busy for sm in self.sms),
+            sfu_busy=sum(sm.sfu_busy for sm in self.sms),
+            alu_slots=cycles * cfg.alu_units * cfg.num_sms,
+            sfu_slots=cycles * cfg.sfu_units * cfg.num_sms,
+            timeline=self.timeline,
+            dram_row_hit_rate=self.memory.dram.row_hit_rate(),
+            num_sms=cfg.num_sms,
+            l2_accesses=sum(self.memory.l2_stats.accesses.values())
+                        + sum(self.memory.l2_stats.writes.values()),
+            l2_misses=sum(self.memory.l2_stats.misses.values()),
+            dram_accesses=self.memory.dram.total_serviced(),
+            icnt_flits=self.memory.icnt.req_flits_sent
+                       + self.memory.icnt.rsp_flits_sent,
+        )
+        return result

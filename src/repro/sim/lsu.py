@@ -1,0 +1,94 @@
+"""The Load/Store Unit: the SM's memory pipeline front end.
+
+The LSU holds a short in-order queue of issued memory instructions and
+expands the head instruction into its coalesced line requests, one L1D
+access per cycle.  When the L1D reports a reservation failure the head
+request replays next cycle and the whole pipeline stalls behind it —
+including requests from *other* kernels, which is the §2.5 interference
+this paper attacks (and why §4.5 notes that partitioning miss
+resources alone cannot help: the pipeline is in-order).
+
+Every successful request and every reservation failure is reported to
+the scheme bundle (MILG counters, QBMI estimators, UCP shadow tags).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.mem.cache import AccessResult, L1DCache
+from repro.mem.subsystem import MemRequest
+from repro.sim.warp import MemInst
+
+#: instructions the LSU queue can hold (issue stalls when full).
+LSU_QUEUE_DEPTH = 8
+
+
+class LoadStoreUnit:
+    """Per-SM memory pipeline."""
+
+    def __init__(self, sm_id: int, l1: L1DCache, queue_depth: int = LSU_QUEUE_DEPTH,
+                 width: int = 2):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.sm_id = sm_id
+        self.l1 = l1
+        self.queue_depth = queue_depth
+        self.width = width
+        self.queue: Deque[MemInst] = deque()
+        self._current_request: Optional[MemRequest] = None
+        self.stall_cycles = 0
+        self.busy_cycles = 0
+
+    def can_accept(self) -> bool:
+        return len(self.queue) < self.queue_depth
+
+    def enqueue(self, inst: MemInst) -> None:
+        if not self.can_accept():
+            raise RuntimeError("LSU queue full")
+        self.queue.append(inst)
+
+    def tick(self, cycle: int, sm) -> None:
+        """Process up to ``width`` L1D requests this cycle, in order.
+
+        A reservation failure stalls the pipeline for the rest of the
+        cycle (one failure counted per stalled cycle, as a hardware
+        replay would)."""
+        busy = False
+        for _ in range(self.width):
+            if not self.queue:
+                break
+            inst = self.queue[0]
+            request = self._current_request
+            if request is None:
+                request = MemRequest(
+                    line=inst.lines[inst.next_idx],
+                    kernel=inst.kernel,
+                    sm_id=self.sm_id,
+                    is_write=inst.is_store,
+                    meminst=None if inst.is_store else inst,
+                    issued_cycle=cycle,
+                    bypass=sm.bundle.bypasses_l1d(inst.kernel)
+                    and not inst.is_store,
+                )
+                self._current_request = request
+
+            result = self.l1.access(request, cycle)
+            if result in AccessResult.RSFAILS:
+                # Memory pipeline stall: replay the request next cycle.
+                self.stall_cycles += 1
+                sm.on_rsfail(request.kernel, cycle)
+                return
+
+            busy = True
+            self._current_request = None
+            waits = result in (AccessResult.MISS, AccessResult.MISS_MERGED) \
+                and not inst.is_store
+            inst.note_request_sent(waits_for_data=waits)
+            sm.on_request_issued(request, result, cycle)
+            if inst.fully_expanded:
+                self.queue.popleft()
+                inst.maybe_complete(cycle)
+        if busy:
+            self.busy_cycles += 1

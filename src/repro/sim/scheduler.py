@@ -1,0 +1,134 @@
+"""Warp schedulers: Greedy-Then-Oldest and Loose Round-Robin.
+
+Each SM has ``schedulers_per_sm`` schedulers, each owning a disjoint
+subset of the SM's warps.  Per cycle a scheduler selects at most one
+issuable warp:
+
+* **GTO** (Table 1 default): keep issuing from the most recently
+  issued warp; when it cannot issue, fall back to the oldest issuable
+  warp (launch order).
+* **LRR** (§4.3 sensitivity): rotate a start pointer and take the
+  first issuable warp after it.
+
+Selection returns both the scheduler's primary pick and — when the
+primary pick is a memory instruction — a *fallback* compute warp, so
+the SM can still issue useful work when the LSU arbiter awards the
+single memory-issue slot to another scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.warp import Warp
+from repro.workloads.kernel import OP_ALU, OP_LOAD, OP_SFU, OP_STORE
+
+
+class Selection:
+    """Outcome of one scheduler's selection phase."""
+
+    __slots__ = ("warp", "op", "fallback", "fallback_op")
+
+    def __init__(self, warp: Warp, op: str,
+                 fallback: Optional[Warp] = None,
+                 fallback_op: Optional[str] = None):
+        self.warp = warp
+        self.op = op
+        self.fallback = fallback
+        self.fallback_op = fallback_op
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in (OP_LOAD, OP_STORE)
+
+
+class WarpScheduler:
+    """One warp scheduler and the warps it owns."""
+
+    def __init__(self, sched_id: int, policy: str):
+        if policy not in ("gto", "lrr"):
+            raise ValueError(f"unknown scheduler policy {policy!r}")
+        self.sched_id = sched_id
+        self.policy = policy
+        self.warps: List[Warp] = []
+        self._greedy: Optional[Warp] = None
+        self._lrr_pos = 0
+
+    # ------------------------------------------------------------------
+    def add_warp(self, warp: Warp) -> None:
+        self.warps.append(warp)
+
+    def remove_warp(self, warp: Warp) -> None:
+        self.warps.remove(warp)
+        if self._greedy is warp:
+            self._greedy = None
+
+    def note_issued(self, warp: Warp) -> None:
+        """Record the issuing warp (updates GTO greediness)."""
+        self._greedy = warp
+
+    # ------------------------------------------------------------------
+    def _priority_order(self) -> List[Warp]:
+        if self.policy == "gto":
+            ordered = sorted(self.warps, key=lambda w: w.age)
+            greedy = self._greedy
+            if greedy is not None and greedy in self.warps:
+                ordered.remove(greedy)
+                ordered.insert(0, greedy)
+            return ordered
+        # LRR: rotate the start position each call.
+        n = len(self.warps)
+        if not n:
+            return []
+        start = self._lrr_pos % n
+        self._lrr_pos += 1
+        return self.warps[start:] + self.warps[:start]
+
+    def select(self, cycle: int,
+               mem_ok: Callable[[Warp, str], bool],
+               compute_ok: Callable[[str], bool],
+               warp_gated: Callable[[Warp], bool] = lambda w: True,
+               ) -> Optional[Selection]:
+        """Pick this scheduler's issue candidate for ``cycle``.
+
+        ``mem_ok(warp, op)`` tells whether a memory instruction from
+        that warp's kernel may issue this cycle (LSU space, MIL limit);
+        ``compute_ok(op)`` tells whether the relevant execution port is
+        free; ``warp_gated`` applies kernel-wide issue gates (SMK's
+        warp-instruction quota).
+
+        The first issuable warp in priority order wins.  Warps whose
+        memory instruction is gated (``mem_ok`` False) are skipped —
+        the scheduler moves on to other warps rather than wasting the
+        slot, which is how MIL frees issue bandwidth for compute.
+        """
+        primary: Optional[Tuple[Warp, str]] = None
+        fallback: Optional[Tuple[Warp, str]] = None
+        for warp in self._priority_order():
+            if not warp.issuable(cycle):
+                continue
+            if not warp_gated(warp):
+                continue
+            op = warp.stream.peek()
+            if op is None:
+                continue
+            if op in (OP_ALU, OP_SFU):
+                if not compute_ok(op):
+                    continue
+                if primary is None:
+                    return Selection(warp, op)
+                # primary is a mem candidate; this is its fallback.
+                fallback = (warp, op)
+                break
+            # memory instruction
+            if not mem_ok(warp, op):
+                continue
+            if primary is None:
+                primary = (warp, op)
+                # keep scanning for a compute fallback
+        if primary is None:
+            return None
+        warp, op = primary
+        if fallback is not None:
+            return Selection(warp, op, fallback[0], fallback[1])
+        return Selection(warp, op)

@@ -1,0 +1,302 @@
+"""The Streaming Multiprocessor: issue logic, execution units, TB
+residency, and the scheme hooks.
+
+Per cycle each SM:
+
+1. launches at most one pending thread block (respecting the CKE
+   layer's per-kernel TB limits and the Table 1 static resources);
+2. lets every warp scheduler select a candidate; compute candidates
+   issue immediately (per-scheduler ALU port, shared SFU port), memory
+   candidates compete for the single LSU issue slot, arbitrated by the
+   configured BMI policy and gated by the MIL limiter and the SMK
+   quota gate;
+3. ticks the LSU (one L1D request, or a stall).
+
+The SM reports all scheme-relevant events (requests, reservation
+failures, in-flight counts) to its :class:`~repro.core.SchemeBundle`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import GPUConfig
+from repro.core.arbiter import SchemeBundle
+from repro.mem.cache import L1DCache
+from repro.sim.lsu import LoadStoreUnit
+from repro.sim.scheduler import Selection, WarpScheduler
+from repro.sim.stats import KernelStats, TimelineRecorder
+from repro.sim.warp import MemInst, ThreadBlock, Warp
+from repro.workloads.kernel import OP_ALU, OP_SFU, OP_STORE
+
+
+class SMKernelState:
+    """Per-SM runtime state for one resident kernel."""
+
+    __slots__ = ("tb_limit", "tb_count", "inflight_minsts", "resident_warps")
+
+    def __init__(self, tb_limit: int):
+        self.tb_limit = tb_limit
+        self.tb_count = 0
+        self.inflight_minsts = 0
+        self.resident_warps = 0
+
+
+class StreamingMultiprocessor:
+    """One SM instance."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, l1: L1DCache,
+                 launches: List, bundle: SchemeBundle,
+                 kernel_stats: Dict[int, KernelStats],
+                 timeline: Optional[TimelineRecorder] = None):
+        self.sm_id = sm_id
+        self.config = config
+        self.l1 = l1
+        self.launches = launches
+        self.bundle = bundle
+        self.kernel_stats = kernel_stats
+        self.timeline = timeline
+
+        self.lsu = LoadStoreUnit(sm_id, l1, width=config.lsu_width)
+        self.schedulers = [WarpScheduler(i, config.scheduler_policy)
+                           for i in range(config.schedulers_per_sm)]
+        self.kstate: Dict[int, SMKernelState] = {
+            launch.slot: SMKernelState(launch.tb_limits[sm_id])
+            for launch in launches
+        }
+        self._launch_by_slot = {launch.slot: launch for launch in launches}
+
+        # Static resource bookkeeping.
+        self._used_threads = 0
+        self._used_warps = 0
+        self._used_regs = 0
+        self._used_smem = 0
+        self._used_tbs = 0
+
+        self._warp_age = 0
+        self._next_tb_id = 0
+        self._sched_rr = 0
+        self._launch_rr = 0
+        self._sfu_used = False
+        self.alu_busy = 0
+        self.sfu_busy = 0
+
+    # ------------------------------------------------------------------
+    # thread block launch
+    def _fits(self, launch) -> bool:
+        cfg = self.config
+        profile = launch.profile
+        warps = profile.warps_per_tb(cfg.warp_size)
+        return (
+            self._used_tbs + 1 <= cfg.max_tbs_per_sm
+            and self._used_threads + profile.threads_per_tb <= cfg.max_threads_per_sm
+            and self._used_warps + warps <= cfg.max_warps_per_sm
+            and self._used_regs + profile.regs_per_thread * profile.threads_per_tb
+                <= cfg.registers_per_sm
+            and self._used_smem + profile.smem_per_tb <= cfg.smem_per_sm
+        )
+
+    def try_launch_tb(self, cycle: int) -> None:
+        """Launch at most one TB, round-robin over kernels."""
+        n = len(self.launches)
+        if not n:
+            return
+        start = self._launch_rr
+        for offset in range(n):
+            launch = self.launches[(start + offset) % n]
+            state = self.kstate[launch.slot]
+            if state.tb_count >= state.tb_limit:
+                continue
+            if not self._fits(launch):
+                continue
+            self._launch_rr = (start + offset + 1) % n
+            self._launch(launch, cycle)
+            return
+
+    def _launch(self, launch, cycle: int) -> None:
+        cfg = self.config
+        profile = launch.profile
+        tb = ThreadBlock(self._next_tb_id, launch.slot, profile)
+        self._next_tb_id += 1
+        warps_per_tb = profile.warps_per_tb(cfg.warp_size)
+        for _ in range(warps_per_tb):
+            warp_index = launch.next_warp_index()
+            stream = launch.new_stream(warp_index)
+            warp = Warp(warp_index, launch.slot, tb, stream, self._warp_age,
+                        mlp=profile.mlp)
+            warp.ready_at = cycle + 1
+            self._warp_age += 1
+            tb.warps.append(warp)
+            tb.live_warps += 1
+            # Balance warps across schedulers.
+            sched = min(self.schedulers, key=lambda s: len(s.warps))
+            sched.add_warp(warp)
+        state = self.kstate[launch.slot]
+        state.tb_count += 1
+        state.resident_warps += warps_per_tb
+        self._used_tbs += 1
+        self._used_threads += profile.threads_per_tb
+        self._used_warps += warps_per_tb
+        self._used_regs += profile.regs_per_thread * profile.threads_per_tb
+        self._used_smem += profile.smem_per_tb
+        self.kernel_stats[launch.slot].tbs_launched += 1
+
+    def _retire_tb(self, tb: ThreadBlock) -> None:
+        profile = tb.profile
+        warps_per_tb = len(tb.warps)
+        state = self.kstate[tb.kernel_slot]
+        state.tb_count -= 1
+        state.resident_warps -= warps_per_tb
+        self._used_tbs -= 1
+        self._used_threads -= profile.threads_per_tb
+        self._used_warps -= warps_per_tb
+        self._used_regs -= profile.regs_per_thread * profile.threads_per_tb
+        self._used_smem -= profile.smem_per_tb
+        self.kernel_stats[tb.kernel_slot].tbs_completed += 1
+
+    def _finish_warp(self, warp: Warp) -> None:
+        for sched in self.schedulers:
+            if warp in sched.warps:
+                sched.remove_warp(warp)
+                break
+        warp.tb.note_warp_done()
+        if warp.tb.done:
+            self._retire_tb(warp.tb)
+
+    # ------------------------------------------------------------------
+    # issue
+    def tick(self, cycle: int) -> None:
+        bundle = self.bundle
+        if bundle.ucp is not None:
+            bundle.ucp.tick(cycle)
+        self.try_launch_tb(cycle)
+        self._sfu_used = False
+
+        gate = bundle.smk_gate
+        limiter = bundle.limiter
+        lsu_free = self.lsu.can_accept()
+
+        def mem_ok(warp: Warp, op: str) -> bool:
+            k = warp.kernel_slot
+            if gate is not None and not gate.can_issue(k):
+                return False
+            return lsu_free and limiter.can_issue(k, self.kstate[k].inflight_minsts)
+
+        def compute_ok(op: str) -> bool:
+            return not (op == OP_SFU and self._sfu_used)
+
+        def warp_gated(warp: Warp) -> bool:
+            return gate is None or gate.can_issue(warp.kernel_slot)
+
+        mem_proposals = []
+        n = len(self.schedulers)
+        start = self._sched_rr
+        self._sched_rr = (self._sched_rr + 1) % n
+        for offset in range(n):
+            sched = self.schedulers[(start + offset) % n]
+            sel = sched.select(cycle, mem_ok, compute_ok, warp_gated)
+            if sel is None:
+                continue
+            if sel.is_mem:
+                mem_proposals.append((sched, sel))
+            else:
+                self._issue_compute(sched, sel.warp, sel.op, cycle)
+
+        if mem_proposals:
+            kernels = [sel.warp.kernel_slot for _, sel in mem_proposals]
+            winner = bundle.mem_policy.pick(kernels)
+            for idx, (sched, sel) in enumerate(mem_proposals):
+                if idx == winner:
+                    self._issue_mem(sched, sel.warp, sel.op, cycle)
+                elif sel.fallback is not None and compute_ok(sel.fallback_op):
+                    self._issue_compute(sched, sel.fallback, sel.fallback_op, cycle)
+
+        self.lsu.tick(cycle, self)
+
+        if gate is not None:
+            resident = [k for k, st in self.kstate.items() if st.resident_warps]
+            if resident:
+                gate.maybe_reset(resident)
+
+    def _issue_compute(self, sched: WarpScheduler, warp: Warp, op: str,
+                       cycle: int) -> None:
+        warp.stream.pop()
+        k = warp.kernel_slot
+        stats = self.kernel_stats[k]
+        stats.warp_insts += 1
+        if op == OP_SFU:
+            stats.sfu_insts += 1
+            self.sfu_busy += 1
+            self._sfu_used = True
+            warp.ready_at = cycle + 4
+        else:
+            stats.alu_insts += 1
+            self.alu_busy += 1
+            warp.ready_at = cycle + 1
+        sched.note_issued(warp)
+        if self.bundle.smk_gate is not None:
+            self.bundle.smk_gate.note_issue(k)
+        if self.timeline is not None:
+            self.timeline.bump("insts", k, cycle)
+        if warp.retired:
+            self._finish_warp(warp)
+
+    def _issue_mem(self, sched: WarpScheduler, warp: Warp, op: str,
+                   cycle: int) -> None:
+        warp.stream.pop()
+        k = warp.kernel_slot
+        is_store = op == OP_STORE
+        desc = warp.stream.memory_descriptor(is_store)
+        launch = self._launch_by_slot[k]
+        lines = tuple(launch.base_line + line for line in desc.lines)
+        inst = MemInst(warp, lines, is_store, cycle, self._on_meminst_complete)
+        state = self.kstate[k]
+        state.inflight_minsts += 1
+        self.bundle.limiter.observe_inflight(k, state.inflight_minsts)
+        self.bundle.mem_policy.note_mem_inst(k)
+        self.lsu.enqueue(inst)
+
+        stats = self.kernel_stats[k]
+        stats.warp_insts += 1
+        stats.mem_insts += 1
+        if is_store:
+            warp.ready_at = cycle + 1
+        else:
+            warp.note_load_issued(cycle)
+        sched.note_issued(warp)
+        if self.bundle.smk_gate is not None:
+            self.bundle.smk_gate.note_issue(k)
+        if self.timeline is not None:
+            self.timeline.bump("insts", k, cycle)
+        if warp.retired:
+            self._finish_warp(warp)
+
+    # ------------------------------------------------------------------
+    # scheme event hooks (called by the LSU)
+    def on_request_issued(self, request, result: str, cycle: int) -> None:
+        k = request.kernel
+        state = self.kstate[k]
+        self.bundle.limiter.note_request(k, state.inflight_minsts)
+        self.bundle.mem_policy.note_request(k)
+        if self.bundle.ucp is not None and not request.is_write:
+            self.bundle.ucp.observe(k, request.line)
+        self.kernel_stats[k].mem_requests += 1
+        if self.timeline is not None:
+            self.timeline.bump("l1d_access", k, cycle)
+
+    def on_rsfail(self, kernel: int, cycle: int) -> None:
+        self.bundle.limiter.note_rsfail(kernel)
+
+    def _on_meminst_complete(self, inst: MemInst, cycle: int) -> None:
+        state = self.kstate[inst.kernel]
+        state.inflight_minsts -= 1
+        self.bundle.limiter.observe_inflight(inst.kernel, state.inflight_minsts)
+        warp = inst.warp
+        if not inst.is_store:
+            warp.note_load_done(cycle)
+            if warp.retired:
+                self._finish_warp(warp)
+
+    # ------------------------------------------------------------------
+    def resident_warps(self) -> int:
+        return self._used_warps

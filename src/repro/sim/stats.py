@@ -1,0 +1,128 @@
+"""Run statistics: per-kernel counters, utilization, and the sampled
+timelines used by the paper's Figure 6 and Figure 8.
+
+The metrics mirror the paper's methodology (§2.3/§2.4):
+
+* per-kernel IPC over the measurement window (warp instructions issued
+  per cycle, aggregated over all SMs);
+* computing-unit utilization (busy slots / available slots);
+* LSU stall percentage (cycles the memory pipeline was blocked by a
+  reservation failure);
+* L1D miss rate and reservation failures per access (``rsfail rate``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class KernelStats:
+    """Counters for one kernel slot, aggregated across SMs."""
+
+    def __init__(self) -> None:
+        self.warp_insts = 0
+        self.alu_insts = 0
+        self.sfu_insts = 0
+        self.mem_insts = 0
+        self.mem_requests = 0
+        self.tbs_completed = 0
+        self.tbs_launched = 0
+
+    def ipc(self, cycles: int) -> float:
+        return self.warp_insts / cycles if cycles else 0.0
+
+
+class TimelineRecorder:
+    """Per-interval sample series, e.g. L1D accesses per 1K cycles
+    (Figure 6) or warp instructions issued per 1K cycles (Figure 8)."""
+
+    def __init__(self, interval: int = 1000):
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.series: Dict[str, Dict[int, List[int]]] = defaultdict(dict)
+
+    def bump(self, series: str, kernel: int, cycle: int, amount: int = 1) -> None:
+        bucket = cycle // self.interval
+        samples = self.series[series].setdefault(kernel, [])
+        while len(samples) <= bucket:
+            samples.append(0)
+        samples[bucket] += amount
+
+    def get(self, series: str, kernel: int) -> List[int]:
+        return list(self.series.get(series, {}).get(kernel, []))
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    cycles: int
+    kernel_names: List[str]
+    kernels: Dict[int, KernelStats]
+    #: per-kernel L1D rates aggregated over SMs.
+    l1d_accesses: Dict[int, int] = field(default_factory=dict)
+    l1d_hits: Dict[int, int] = field(default_factory=dict)
+    l1d_misses: Dict[int, int] = field(default_factory=dict)
+    l1d_rsfails: Dict[int, int] = field(default_factory=dict)
+    lsu_stall_cycles: int = 0
+    lsu_busy_cycles: int = 0
+    alu_busy: int = 0
+    sfu_busy: int = 0
+    alu_slots: int = 0
+    sfu_slots: int = 0
+    timeline: Optional[TimelineRecorder] = None
+    dram_row_hit_rate: float = 0.0
+    num_sms: int = 1
+    # backend activity (for the energy model)
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_accesses: int = 0
+    icnt_flits: int = 0
+
+    # ------------------------------------------------------------------
+    def ipc(self, kernel: int) -> float:
+        return self.kernels[kernel].ipc(self.cycles)
+
+    def total_ipc(self) -> float:
+        return sum(k.warp_insts for k in self.kernels.values()) / self.cycles
+
+    def total_insts(self) -> int:
+        return sum(k.warp_insts for k in self.kernels.values())
+
+    def l1d_miss_rate(self, kernel: int) -> float:
+        acc = self.l1d_accesses.get(kernel, 0)
+        return self.l1d_misses.get(kernel, 0) / acc if acc else 0.0
+
+    def l1d_rsfail_rate(self, kernel: int) -> float:
+        acc = self.l1d_accesses.get(kernel, 0)
+        return self.l1d_rsfails.get(kernel, 0) / acc if acc else 0.0
+
+    def lsu_stall_pct(self) -> float:
+        total = self.cycles * self.num_sms
+        return self.lsu_stall_cycles / total if total else 0.0
+
+    def alu_utilization(self) -> float:
+        return self.alu_busy / self.alu_slots if self.alu_slots else 0.0
+
+    def sfu_utilization(self) -> float:
+        return self.sfu_busy / self.sfu_slots if self.sfu_slots else 0.0
+
+    def compute_utilization(self) -> float:
+        slots = self.alu_slots + self.sfu_slots
+        return (self.alu_busy + self.sfu_busy) / slots if slots else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict of headline numbers (used by the reporting layer)."""
+        out: Dict[str, object] = {
+            "cycles": self.cycles,
+            "lsu_stall_pct": self.lsu_stall_pct(),
+            "compute_utilization": self.compute_utilization(),
+        }
+        for slot, name in enumerate(self.kernel_names):
+            out[f"ipc[{name}#{slot}]"] = self.ipc(slot)
+            out[f"l1d_miss[{name}#{slot}]"] = self.l1d_miss_rate(slot)
+            out[f"l1d_rsfail[{name}#{slot}]"] = self.l1d_rsfail_rate(slot)
+        return out

@@ -1,0 +1,62 @@
+"""Synthetic GPU kernels calibrated to the paper's benchmark suite.
+
+The paper characterises 13 CUDA benchmarks (Table 2) by their dynamic
+instruction mix (``Cinst/Minst``), memory coalescing degree
+(``Req/Minst``), L1D miss/reservation-failure rates and static-resource
+occupancy, then builds 2- and 3-kernel CKE workloads from them.  The
+schemes under study never look at program semantics — only at these
+observable characteristics — so we reproduce each benchmark as a
+parameterised instruction/address stream generator
+(:class:`~repro.workloads.kernel.KernelProfile`).
+"""
+
+from repro.workloads.address import AccessPattern, MixPattern, ReusePattern, StreamPattern
+from repro.workloads.coalescer import (
+    ThreadAddressPattern,
+    coalesce,
+    coalescing_degree,
+    gather,
+    strided,
+    unit_stride,
+)
+from repro.workloads.kernel import InstructionStream, KernelProfile, MemInstDescriptor
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    COMPUTE_PROFILES,
+    MEMORY_PROFILES,
+    PROFILES_BY_NAME,
+    get_profile,
+)
+from repro.workloads.mixes import (
+    WorkloadMix,
+    classify_mix,
+    paper_pairs,
+    representative_pairs,
+    representative_triples,
+)
+
+__all__ = [
+    "AccessPattern",
+    "ThreadAddressPattern",
+    "coalesce",
+    "coalescing_degree",
+    "unit_stride",
+    "strided",
+    "gather",
+    "StreamPattern",
+    "ReusePattern",
+    "MixPattern",
+    "KernelProfile",
+    "InstructionStream",
+    "MemInstDescriptor",
+    "ALL_PROFILES",
+    "COMPUTE_PROFILES",
+    "MEMORY_PROFILES",
+    "PROFILES_BY_NAME",
+    "get_profile",
+    "WorkloadMix",
+    "classify_mix",
+    "paper_pairs",
+    "representative_pairs",
+    "representative_triples",
+]

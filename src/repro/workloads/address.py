@@ -1,0 +1,106 @@
+"""Line-address stream generators for synthetic kernels.
+
+Addresses are produced at cache-line granularity (the coalescer in
+:mod:`repro.sim.lsu` has already merged thread accesses, matching the
+paper's ``Req/Minst`` column).  Each kernel instance owns a disjoint
+address region so concurrent kernels never share data; sharing effects
+happen in the *capacity* and *resource* domains, as in the paper.
+
+Three patterns cover the behaviours in Table 2:
+
+* :class:`StreamPattern` — each warp walks its private region
+  sequentially (compulsory misses, ~1.0 miss rate: ``bs``, ``pf``).
+* :class:`ReusePattern` — uniform random lines from a kernel-shared
+  working set (miss rate ≈ max(0, 1 - cache_share/ws): ``dc``).
+* :class:`MixPattern` — a per-request Bernoulli mix of the two
+  (intermediate miss rates: ``cp``, ``bp``, ``st``, ``3m``, ``sv``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Protocol
+
+
+class AccessPattern(Protocol):
+    """A source of line indices local to one kernel's address region."""
+
+    def lines(self, warp_index: int, rng: random.Random, count: int) -> List[int]:
+        """Return ``count`` line indices for one memory instruction."""
+
+
+class StreamPattern:
+    """Per-warp sequential walk over a private region of ``region_lines``.
+
+    Consecutive memory instructions of a warp touch consecutive lines,
+    so within the measurement window nothing is revisited (compulsory
+    misses), while different warps never alias — no accidental MSHR
+    merging.
+    """
+
+    #: per-warp extra offset (in lines) decorrelating the DRAM-row —
+    #: and hence channel — phase of different warps' streams; without
+    #: it all warps advance through channels in lockstep and serialise
+    #: on one channel at a time.
+    ROW_STAGGER = 33
+
+    def __init__(self, region_lines: int = 1 << 16,
+                 recycle_slots: Optional[int] = None):
+        if region_lines < 1:
+            raise ValueError("region_lines must be positive")
+        if recycle_slots is not None and recycle_slots < 1:
+            raise ValueError("recycle_slots must be positive")
+        self.region_lines = region_lines
+        #: when set, warp regions are recycled modulo this many slots:
+        #: successive thread blocks re-walk the same data (a bounded,
+        #: cache-resident footprint — compute kernels).  None gives
+        #: every warp instance fresh data (an unbounded streaming
+        #: footprint — memory-intensive kernels).
+        self.recycle_slots = recycle_slots
+        self._cursors: dict = {}
+
+    def lines(self, warp_index: int, rng: random.Random, count: int) -> List[int]:
+        slot = (warp_index if self.recycle_slots is None
+                else warp_index % self.recycle_slots)
+        cursor = self._cursors.get(warp_index, 0)
+        base = slot * (self.region_lines + self.ROW_STAGGER)
+        out = [base + (cursor + i) % self.region_lines for i in range(count)]
+        self._cursors[warp_index] = (cursor + count) % self.region_lines
+        return out
+
+
+class ReusePattern:
+    """Uniform random lines from a working set shared by all warps."""
+
+    def __init__(self, working_set_lines: int):
+        if working_set_lines < 1:
+            raise ValueError("working_set_lines must be positive")
+        self.working_set_lines = working_set_lines
+
+    def lines(self, warp_index: int, rng: random.Random, count: int) -> List[int]:
+        ws = self.working_set_lines
+        start = rng.randrange(ws)
+        # A coalesced instruction touches adjacent lines of the set.
+        return [(start + i) % ws for i in range(count)]
+
+
+class MixPattern:
+    """Bernoulli mixture: reuse a shared working set with probability
+    ``reuse_frac``, otherwise stream from the warp's private region."""
+
+    def __init__(self, working_set_lines: int, reuse_frac: float,
+                 region_lines: int = 1 << 16,
+                 recycle_slots: Optional[int] = None):
+        if not 0.0 <= reuse_frac <= 1.0:
+            raise ValueError("reuse_frac must be in [0, 1]")
+        self.reuse_frac = reuse_frac
+        self._reuse = ReusePattern(working_set_lines)
+        self._stream = StreamPattern(region_lines, recycle_slots)
+        # Streamed lines must not collide with the shared working set.
+        self._stream_base = working_set_lines + 1024
+
+    def lines(self, warp_index: int, rng: random.Random, count: int) -> List[int]:
+        if rng.random() < self.reuse_frac:
+            return self._reuse.lines(warp_index, rng, count)
+        raw = self._stream.lines(warp_index, rng, count)
+        return [self._stream_base + line for line in raw]

@@ -1,0 +1,119 @@
+"""Memory access coalescing (paper §2.1).
+
+"Global and local memory requests from threads in a warp are coalesced
+into as few transactions as possible before being sent to the memory
+hierarchy."  The profiles in :mod:`repro.workloads.profiles` encode the
+*result* of coalescing (Table 2's ``Req/Minst``); this module provides
+the mechanism itself, so custom kernels can be described by per-thread
+access expressions and have their coalescing degree derived rather than
+asserted.
+
+:class:`ThreadAddressPattern` adapts a per-thread byte-address
+generator into the line-level :class:`~repro.workloads.address
+.AccessPattern` interface the simulator consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+
+def coalesce(byte_addresses: Sequence[int], line_size: int = 128) -> List[int]:
+    """Merge a warp's per-thread byte addresses into line transactions.
+
+    Returns the unique line indices in first-touch order — one memory
+    transaction per distinct line, exactly the coalescing rule modern
+    GPUs apply per warp access.
+    """
+    if line_size < 1:
+        raise ValueError("line_size must be positive")
+    seen = set()
+    lines: List[int] = []
+    for addr in byte_addresses:
+        if addr < 0:
+            raise ValueError("byte addresses must be non-negative")
+        line = addr // line_size
+        if line not in seen:
+            seen.add(line)
+            lines.append(line)
+    return lines
+
+
+def coalescing_degree(byte_addresses: Sequence[int],
+                      line_size: int = 128) -> int:
+    """Transactions one warp access generates (the ``Req/Minst`` of a
+    single access)."""
+    return len(coalesce(byte_addresses, line_size))
+
+
+# ----------------------------------------------------------------------
+# canonical per-thread access expressions
+def unit_stride(warp_size: int = 32, element_bytes: int = 4
+                ) -> Callable[[int, random.Random], List[int]]:
+    """``a[tid]``: fully coalesced — 1 line per warp for 4B elements."""
+    def gen(base: int, rng: random.Random) -> List[int]:
+        return [base + tid * element_bytes for tid in range(warp_size)]
+    return gen
+
+
+def strided(stride_elements: int, warp_size: int = 32, element_bytes: int = 4
+            ) -> Callable[[int, random.Random], List[int]]:
+    """``a[tid * s]``: coalescing degrades with the stride."""
+    if stride_elements < 1:
+        raise ValueError("stride must be >= 1")
+
+    def gen(base: int, rng: random.Random) -> List[int]:
+        return [base + tid * stride_elements * element_bytes
+                for tid in range(warp_size)]
+    return gen
+
+
+def gather(spread_lines: int, warp_size: int = 32, line_size: int = 128
+           ) -> Callable[[int, random.Random], List[int]]:
+    """``a[idx[tid]]``: random gather over ``spread_lines`` lines —
+    the worst case (kmeans/ATAX-like)."""
+    if spread_lines < 1:
+        raise ValueError("spread_lines must be >= 1")
+
+    def gen(base: int, rng: random.Random) -> List[int]:
+        return [base + rng.randrange(spread_lines) * line_size
+                for _ in range(warp_size)]
+    return gen
+
+
+class ThreadAddressPattern:
+    """Adapter: a per-thread byte-address generator becomes a line-level
+    :class:`~repro.workloads.address.AccessPattern`.
+
+    Each memory instruction advances the warp's base pointer by
+    ``advance_bytes`` (the loop induction), generates the warp's thread
+    addresses, and coalesces them.  The requested ``count`` is advisory
+    for this pattern: the *measured* transaction count is whatever
+    coalescing produces, which is the point.
+    """
+
+    def __init__(self, thread_gen: Callable[[int, random.Random], List[int]],
+                 advance_bytes: int = 128, line_size: int = 128):
+        if advance_bytes < 0:
+            raise ValueError("advance_bytes must be non-negative")
+        self.thread_gen = thread_gen
+        self.advance_bytes = advance_bytes
+        self.line_size = line_size
+        self._bases: dict = {}
+
+    def lines(self, warp_index: int, rng: random.Random, count: int) -> List[int]:
+        base = self._bases.get(warp_index, warp_index << 20)
+        self._bases[warp_index] = base + self.advance_bytes
+        addresses = self.thread_gen(base, rng)
+        return coalesce(addresses, self.line_size)
+
+    def measured_req_per_minst(self, samples: int = 64,
+                               seed: int = 0) -> float:
+        """Average transactions per warp access (for calibrating a
+        :class:`~repro.workloads.kernel.KernelProfile`)."""
+        rng = random.Random(seed)
+        total = 0
+        for i in range(samples):
+            total += len(self.lines(10_000 + i, rng, 0))
+        return total / samples

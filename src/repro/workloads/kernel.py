@@ -1,0 +1,184 @@
+"""Kernel profiles and per-warp instruction streams.
+
+A :class:`KernelProfile` is the synthetic stand-in for one of the
+paper's CUDA benchmarks: it fixes the static resource footprint
+(registers / shared memory / threads per TB — Table 2's occupancy
+columns) and the dynamic behaviour (compute-to-memory instruction
+ratio ``Cinst/Minst``, coalescing degree ``Req/Minst``, and the address
+pattern that yields the benchmark's L1D miss profile).
+
+A :class:`InstructionStream` turns a profile into the deterministic
+instruction sequence one warp executes: groups of ``cinst_per_minst``
+compute instructions followed by one memory instruction, repeated for
+``iters_per_warp`` iterations per thread block.  All randomness is
+drawn from a per-warp :class:`random.Random` seeded from
+``(kernel seed, tb index, warp index)``, so runs are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.address import AccessPattern
+
+#: Instruction opcodes produced by an InstructionStream.
+OP_ALU = "alu"
+OP_SFU = "sfu"
+OP_LOAD = "ld"
+OP_STORE = "st"
+
+
+@dataclass(frozen=True)
+class MemInstDescriptor:
+    """One memory instruction after coalescing: the line addresses it
+    touches (kernel-region-local) and whether it is a store."""
+
+    lines: tuple
+    is_store: bool
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Static + dynamic characteristics of one synthetic kernel."""
+
+    name: str
+    full_name: str
+    suite: str
+    #: expected classification, 'C' (compute) or 'M' (memory) — Table 2.
+    kind: str
+
+    # Dynamic instruction mix (Table 2 columns).
+    cinst_per_minst: int
+    reqs_per_minst: int
+    sfu_frac: float = 0.0
+    write_frac: float = 0.05
+    #: memory-level parallelism: independent loads one warp keeps in
+    #: flight.  Memory-intensive kernels issue back-to-back independent
+    #: loads (high MLP) — the reason they saturate miss resources.
+    mlp: int = 2
+
+    # Static per-TB resources, in scaled-config units (see DESIGN.md).
+    threads_per_tb: int = 64
+    regs_per_thread: int = 32
+    smem_per_tb: int = 0
+
+    #: factory producing a fresh address pattern per kernel instance.
+    pattern_factory: Callable[[], AccessPattern] = None  # type: ignore[assignment]
+
+    #: memory-instruction iterations one warp executes per TB.
+    iters_per_warp: int = 200
+
+    #: Table 2 reference values from the paper, for reporting.
+    paper: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("C", "M"):
+            raise ValueError(f"kind must be 'C' or 'M', got {self.kind!r}")
+        if self.cinst_per_minst < 0 or self.reqs_per_minst < 1:
+            raise ValueError("bad instruction mix")
+        if self.threads_per_tb < 1:
+            raise ValueError("threads_per_tb must be positive")
+        if self.pattern_factory is None:
+            raise ValueError("pattern_factory is required")
+
+    def warps_per_tb(self, warp_size: int) -> int:
+        return max(1, (self.threads_per_tb + warp_size - 1) // warp_size)
+
+    def max_tbs_per_sm(self, config) -> int:
+        """Maximum concurrent TBs of this kernel on one SM, limited by
+        the four static resources of the paper's Table 2."""
+        warp_size = config.warp_size
+        by_threads = config.max_threads_per_sm // self.threads_per_tb
+        by_warps = config.max_warps_per_sm // self.warps_per_tb(warp_size)
+        by_regs = config.registers_per_sm // max(
+            1, self.regs_per_thread * self.threads_per_tb)
+        by_smem = (config.smem_per_sm // self.smem_per_tb
+                   if self.smem_per_tb else config.max_tbs_per_sm)
+        by_slots = config.max_tbs_per_sm
+        return max(0, min(by_threads, by_warps, by_regs, by_smem, by_slots))
+
+    def occupancy(self, config, tbs: Optional[int] = None) -> Dict[str, float]:
+        """Static-resource occupancy at ``tbs`` concurrent TBs (defaults
+        to the maximum) — reproduces Table 2's occupancy columns."""
+        if tbs is None:
+            tbs = self.max_tbs_per_sm(config)
+        threads = tbs * self.threads_per_tb
+        return {
+            "rf": tbs * self.threads_per_tb * self.regs_per_thread
+                  / config.registers_per_sm,
+            "smem": tbs * self.smem_per_tb / config.smem_per_sm,
+            "threads": threads / config.max_threads_per_sm,
+            "tbs": tbs / config.max_tbs_per_sm,
+        }
+
+
+class InstructionStream:
+    """Deterministic instruction sequence for one warp of one TB.
+
+    The stream interleaves ``cinst_per_minst`` compute instructions
+    (ALU, or SFU with probability ``sfu_frac``) with one memory
+    instruction per iteration.  ``peek`` exposes the next opcode so the
+    scheduler can decide issue eligibility without consuming it.
+    """
+
+    def __init__(self, profile: KernelProfile, pattern: AccessPattern,
+                 global_warp_index: int, seed: int):
+        self.profile = profile
+        self._pattern = pattern
+        self._warp_index = global_warp_index
+        self._rng = random.Random((seed * 1000003 + global_warp_index) & 0x7FFFFFFF)
+        self._iters_left = profile.iters_per_warp
+        self._compute_left = profile.cinst_per_minst
+        self._next_op: Optional[str] = None
+        self._advance()
+
+    def _advance(self) -> None:
+        if self._iters_left <= 0:
+            self._next_op = None
+            return
+        if self._compute_left > 0:
+            if self.profile.sfu_frac and self._rng.random() < self.profile.sfu_frac:
+                self._next_op = OP_SFU
+            else:
+                self._next_op = OP_ALU
+        else:
+            if self._rng.random() < self.profile.write_frac:
+                self._next_op = OP_STORE
+            else:
+                self._next_op = OP_LOAD
+
+    @property
+    def done(self) -> bool:
+        return self._next_op is None
+
+    def peek(self) -> Optional[str]:
+        """Opcode of the next instruction, or None when the TB's work
+        for this warp is finished."""
+        return self._next_op
+
+    def pop(self) -> str:
+        """Consume and return the next opcode.  For memory opcodes the
+        caller must follow up with :meth:`memory_descriptor`."""
+        op = self._next_op
+        if op is None:
+            raise RuntimeError("instruction stream exhausted")
+        if op in (OP_ALU, OP_SFU):
+            self._compute_left -= 1
+        else:
+            self._compute_left = self.profile.cinst_per_minst
+            self._iters_left -= 1
+        self._advance()
+        return op
+
+    def memory_descriptor(self, is_store: bool) -> MemInstDescriptor:
+        """Coalesced line addresses for the memory instruction just
+        popped (``Req/Minst`` lines)."""
+        lines = self._pattern.lines(
+            self._warp_index, self._rng, self.profile.reqs_per_minst)
+        return MemInstDescriptor(lines=tuple(lines), is_store=is_store)
+
+    def remaining_iterations(self) -> int:
+        return self._iters_left

@@ -1,0 +1,125 @@
+"""Unit and property tests for repro.workloads.address."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.address import MixPattern, ReusePattern, StreamPattern
+
+
+class TestStreamPattern:
+    def test_sequential_within_warp(self):
+        pat = StreamPattern(region_lines=100)
+        rng = random.Random(0)
+        first = pat.lines(0, rng, 4)
+        second = pat.lines(0, rng, 4)
+        assert first == [0, 1, 2, 3]
+        assert second == [4, 5, 6, 7]
+
+    def test_wraps_at_region_boundary(self):
+        pat = StreamPattern(region_lines=4)
+        rng = random.Random(0)
+        pat.lines(0, rng, 4)
+        assert pat.lines(0, rng, 2) == [0, 1]
+
+    def test_warps_use_disjoint_regions(self):
+        pat = StreamPattern(region_lines=64)
+        rng = random.Random(0)
+        a = set(pat.lines(0, rng, 8))
+        b = set(pat.lines(1, rng, 8))
+        assert not a & b
+
+    def test_recycled_slots_alias(self):
+        pat = StreamPattern(region_lines=64, recycle_slots=4)
+        rng = random.Random(0)
+        a = pat.lines(1, rng, 4)
+        b = pat.lines(5, rng, 4)  # 5 % 4 == 1 -> same region
+        assert a == b
+
+    def test_row_stagger_decorrelates_bases(self):
+        pat = StreamPattern(region_lines=1 << 10)
+        rng = random.Random(0)
+        bases = [pat.lines(w, rng, 1)[0] for w in range(4)]
+        rows = [b // 32 % 4 for b in bases]
+        assert len(set(rows)) > 1, "warp streams must not share a channel phase"
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            StreamPattern(region_lines=0)
+        with pytest.raises(ValueError):
+            StreamPattern(recycle_slots=0)
+
+
+class TestReusePattern:
+    def test_all_lines_within_working_set(self):
+        pat = ReusePattern(working_set_lines=16)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert all(0 <= line < 16 for line in pat.lines(0, rng, 3))
+
+    def test_request_lines_are_consecutive_mod_ws(self):
+        pat = ReusePattern(working_set_lines=10)
+        rng = random.Random(2)
+        lines = pat.lines(0, rng, 4)
+        assert [(lines[0] + i) % 10 for i in range(4)] == lines
+
+    def test_rejects_empty_working_set(self):
+        with pytest.raises(ValueError):
+            ReusePattern(0)
+
+
+class TestMixPattern:
+    def test_pure_reuse_when_frac_one(self):
+        pat = MixPattern(8, 1.0)
+        rng = random.Random(3)
+        for _ in range(20):
+            assert all(line < 8 for line in pat.lines(0, rng, 2))
+
+    def test_pure_stream_when_frac_zero(self):
+        pat = MixPattern(8, 0.0)
+        rng = random.Random(3)
+        lines = pat.lines(0, rng, 2)
+        assert all(line >= 8 for line in lines), "streams must avoid the working set"
+
+    def test_mix_produces_both_kinds(self):
+        pat = MixPattern(8, 0.5)
+        rng = random.Random(4)
+        kinds = set()
+        for _ in range(200):
+            lines = pat.lines(0, rng, 1)
+            kinds.add("reuse" if lines[0] < 8 else "stream")
+        assert kinds == {"reuse", "stream"}
+
+    def test_rejects_bad_frac(self):
+        with pytest.raises(ValueError):
+            MixPattern(8, 1.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(region=st.integers(1, 512), count=st.integers(1, 32),
+       warp=st.integers(0, 64), seed=st.integers(0, 1000))
+def test_stream_lines_stay_in_warp_region(region, count, warp, seed):
+    pat = StreamPattern(region_lines=region)
+    rng = random.Random(seed)
+    base = warp * (region + StreamPattern.ROW_STAGGER)
+    for line in pat.lines(warp, rng, count):
+        assert base <= line < base + region
+
+
+@settings(max_examples=50, deadline=None)
+@given(ws=st.integers(1, 256), count=st.integers(1, 32), seed=st.integers(0, 1000))
+def test_reuse_lines_bounded_by_working_set(ws, count, seed):
+    pat = ReusePattern(ws)
+    rng = random.Random(seed)
+    assert all(0 <= line < ws for line in pat.lines(0, rng, count))
+
+
+@settings(max_examples=30, deadline=None)
+@given(frac=st.floats(0.0, 1.0), seed=st.integers(0, 100))
+def test_mix_reuse_fraction_roughly_respected(frac, seed):
+    pat = MixPattern(16, frac)
+    rng = random.Random(seed)
+    reuse = sum(1 for _ in range(400) if pat.lines(0, rng, 1)[0] < 16)
+    assert abs(reuse / 400 - frac) < 0.15

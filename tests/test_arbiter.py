@@ -1,0 +1,142 @@
+"""Unit tests for SchemeConfig composition and the SMK quota gate."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.arbiter import SchemeBundle, SchemeConfig, SMKQuotaGate
+from repro.core.bmi import QuotaBMI, RoundRobinBMI, UnmanagedIssue
+from repro.core.mil import DynamicLimiter, NoLimit, StaticLimiter
+from repro.mem.cache import SetAssocCache
+
+
+def build(scheme, num_kernels=2):
+    cfg = scaled_config()
+    tags = SetAssocCache(cfg.l1d)
+    return scheme.build(num_kernels, cfg, tags)
+
+
+class TestSchemeConfig:
+    def test_defaults_are_baseline(self):
+        bundle = build(SchemeConfig())
+        assert isinstance(bundle.mem_policy, UnmanagedIssue)
+        assert isinstance(bundle.limiter, NoLimit)
+        assert bundle.ucp is None
+        assert bundle.smk_gate is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchemeConfig(bmi="bogus")
+        with pytest.raises(ValueError):
+            SchemeConfig(mil="bogus")
+        with pytest.raises(ValueError):
+            SchemeConfig(mil="smil")  # needs limits
+
+    def test_builds_requested_components(self):
+        bundle = build(SchemeConfig(bmi="rbmi", mil="dmil", ucp=True))
+        assert isinstance(bundle.mem_policy, RoundRobinBMI)
+        assert isinstance(bundle.limiter, DynamicLimiter)
+        assert bundle.ucp is not None
+
+    def test_qbmi_with_init_hints(self):
+        bundle = build(SchemeConfig(bmi="qbmi",
+                                    qbmi_init_req_per_minst=(2, 17)))
+        assert isinstance(bundle.mem_policy, QuotaBMI)
+        assert bundle.mem_policy.estimators[1].value == 17
+
+    def test_smil_limit_arity_checked(self):
+        scheme = SchemeConfig(mil="smil", smil_limits=(1,))
+        with pytest.raises(ValueError):
+            build(scheme, num_kernels=2)
+
+    def test_smil_builds_static_limiter(self):
+        bundle = build(SchemeConfig(mil="smil", smil_limits=(3, None)))
+        assert isinstance(bundle.limiter, StaticLimiter)
+        assert bundle.limiter.limits() == [3, None]
+
+    def test_describe(self):
+        assert SchemeConfig().describe() == "baseline"
+        text = SchemeConfig(bmi="qbmi", mil="dmil").describe()
+        assert "QBMI" in text and "DMIL" in text
+        assert "SMIL(3,Inf)" in SchemeConfig(
+            mil="smil", smil_limits=(3, None)).describe()
+
+    def test_smk_gate_built_from_quotas(self):
+        bundle = build(SchemeConfig(smk_quotas=(10, 20)))
+        assert isinstance(bundle.smk_gate, SMKQuotaGate)
+
+    def test_ucp_skipped_for_single_kernel(self):
+        bundle = build(SchemeConfig(ucp=True), num_kernels=1)
+        assert bundle.ucp is None
+
+
+class TestSMKQuotaGate:
+    def test_blocks_exhausted_kernel(self):
+        gate = SMKQuotaGate([2, 2])
+        gate.note_issue(0)
+        gate.note_issue(0)
+        assert not gate.can_issue(0)
+        assert gate.can_issue(1)
+
+    def test_resets_when_all_resident_drained(self):
+        gate = SMKQuotaGate([1, 1])
+        gate.note_issue(0)
+        gate.maybe_reset([0, 1])
+        assert not gate.can_issue(0), "kernel 1 still has quota"
+        gate.note_issue(1)
+        gate.maybe_reset([0, 1])
+        assert gate.can_issue(0) and gate.can_issue(1)
+        assert gate.epochs == 1
+
+    def test_non_resident_kernels_cannot_livelock(self):
+        gate = SMKQuotaGate([1, 5])
+        gate.note_issue(0)
+        gate.maybe_reset([0])  # kernel 1 not resident on this SM
+        assert gate.can_issue(0)
+
+    def test_rejects_bad_quota(self):
+        with pytest.raises(ValueError):
+            SMKQuotaGate([0, 2])
+
+
+class TestGlobalDMIL:
+    def test_monitor_feeds_shared_state(self):
+        from repro.core.mil import GlobalLimiterView
+        cfg = scaled_config()
+        tags = SetAssocCache(cfg.l1d)
+        shared = {}
+        monitor = SchemeConfig(mil="gdmil").build(2, cfg, tags,
+                                                  shared=shared, sm_id=0)
+        follower = SchemeConfig(mil="gdmil").build(2, cfg, tags,
+                                                   shared=shared, sm_id=1)
+        assert isinstance(monitor.limiter, GlobalLimiterView)
+        assert monitor.limiter.shared is follower.limiter.shared
+        assert monitor.limiter.is_monitor and not follower.limiter.is_monitor
+
+    def test_follower_events_ignored(self):
+        from repro.core.mil import GlobalLimiterView
+        cfg = scaled_config()
+        tags = SetAssocCache(cfg.l1d)
+        shared = {}
+        SchemeConfig(mil="gdmil").build(2, cfg, tags, shared=shared, sm_id=0)
+        follower = SchemeConfig(mil="gdmil").build(2, cfg, tags,
+                                                   shared=shared, sm_id=1)
+        window = cfg.sample_window
+        follower.limiter.observe_inflight(0, 10)
+        for _ in range(window * 4):
+            follower.limiter.note_rsfail(0)
+        for _ in range(window):
+            follower.limiter.note_request(0, 5)
+        assert follower.limiter.limits()[0] is None, (
+            "non-monitor SMs must not drive the shared MILG")
+
+    def test_describe_mentions_global(self):
+        assert "GlobalDMIL" in SchemeConfig(mil="gdmil").describe()
+
+
+class TestDmilRecoveryKnob:
+    def test_recovery_flag_propagates(self):
+        cfg = scaled_config()
+        tags = SetAssocCache(cfg.l1d)
+        bundle = SchemeConfig(mil="dmil", dmil_recovery=False).build(
+            2, cfg, tags)
+        assert all(not m.recovery for m in bundle.limiter.milgs)

@@ -1,0 +1,150 @@
+"""Unit and property tests for BMI (RBMI/QBMI, paper §3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bmi import (
+    MAX_REQ_PER_MINST,
+    QuotaBMI,
+    ReqPerMinstEstimator,
+    RoundRobinBMI,
+    UnmanagedIssue,
+    compute_quotas,
+)
+
+
+class TestComputeQuotas:
+    def test_paper_formula_lcm(self):
+        # Quota_i = LCM(r...) / r_i
+        assert compute_quotas([2, 3]) == [3, 2]
+        assert compute_quotas([1, 17]) == [17, 1]
+        assert compute_quotas([2, 2]) == [1, 1]
+
+    def test_equal_requests_per_round(self):
+        rates = [2, 3, 17]
+        quotas = compute_quotas(rates)
+        served = [q * r for q, r in zip(quotas, rates)]
+        assert len(set(served)) == 1, "each kernel gets the same request share"
+
+    def test_rates_are_clamped(self):
+        quotas = compute_quotas([1, 1000])
+        assert quotas[1] == 1
+        assert quotas[0] == MAX_REQ_PER_MINST
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compute_quotas([])
+
+
+class TestEstimator:
+    def test_tracks_ratio_after_window(self):
+        est = ReqPerMinstEstimator(window=8)
+        for _ in range(4):
+            est.note_mem_inst()
+            est.note_request()
+            est.note_request()
+        assert est.value == 2
+
+    def test_partial_ratio_early(self):
+        est = ReqPerMinstEstimator(window=1024)
+        for _ in range(10):
+            est.note_mem_inst()
+            for _ in range(3):
+                est.note_request()
+        assert est.value == 3
+
+    def test_default_before_any_data(self):
+        assert ReqPerMinstEstimator().value == 1
+
+
+class TestRoundRobin:
+    def test_alternates_between_competing_kernels(self):
+        rbmi = RoundRobinBMI(2)
+        grants = []
+        for _ in range(6):
+            idx = rbmi.pick([0, 1])
+            grants.append([0, 1][idx])
+        assert grants == [0, 1, 0, 1, 0, 1]
+
+    def test_loose_when_turn_holder_absent(self):
+        rbmi = RoundRobinBMI(2)
+        assert rbmi.pick([0]) == 0  # kernel 0 granted, turn -> 1
+        # kernel 1 never proposes; kernel 0 must still be served.
+        assert rbmi.pick([0]) == 0
+
+    def test_three_kernels_cycle(self):
+        rbmi = RoundRobinBMI(3)
+        grants = [rbmi.pick([0, 1, 2]) for _ in range(6)]
+        kernels = [[0, 1, 2][g] for g in grants]
+        assert kernels == [0, 1, 2, 0, 1, 2]
+
+
+class TestQuotaBMI:
+    def test_priority_goes_to_larger_quota(self):
+        qbmi = QuotaBMI(2, initial_req_per_minst=(2, 17))
+        # quotas: LCM(2,17)=34 -> [17, 2]; kernel 0 must win first.
+        winner = qbmi.pick([0, 1])
+        assert [0, 1][winner] == 0
+
+    def test_request_share_converges_to_balance(self):
+        """Over many contested cycles the granted request volume per
+        kernel should be roughly equal (that is QBMI's goal)."""
+        rates = (2, 8)
+        qbmi = QuotaBMI(2, initial_req_per_minst=rates)
+        served_reqs = [0, 0]
+        for _ in range(2000):
+            winner = [0, 1][qbmi.pick([0, 1])]
+            served_reqs[winner] += rates[winner]
+        ratio = served_reqs[0] / served_reqs[1]
+        assert 0.8 < ratio < 1.25
+
+    def test_replenish_on_exhaustion(self):
+        qbmi = QuotaBMI(2, initial_req_per_minst=(1, 1))
+        # quotas [1, 1]; two picks drain both; a third must not fail.
+        for _ in range(5):
+            qbmi.pick([0, 1])
+        assert max(qbmi.quotas) > 0
+
+    def test_zero_quota_kernel_can_still_issue_alone(self):
+        """The paper's replenish rule: a kernel with zero quota is never
+        blocked when no other kernel competes."""
+        qbmi = QuotaBMI(2, initial_req_per_minst=(1, 17))
+        for _ in range(50):
+            assert qbmi.pick([1]) == 0  # only kernel 1 proposes; index 0
+
+    def test_estimator_feedback(self):
+        qbmi = QuotaBMI(2, window=8)
+        for _ in range(4):
+            qbmi.note_mem_inst(0)
+            qbmi.note_request(0)
+            qbmi.note_request(0)
+        assert qbmi.estimators[0].value == 2
+
+    def test_rejects_mismatched_init(self):
+        with pytest.raises(ValueError):
+            QuotaBMI(2, initial_req_per_minst=(1,))
+
+
+class TestUnmanaged:
+    def test_first_proposal_wins(self):
+        assert UnmanagedIssue().pick([3, 1, 2]) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(rates=st.lists(st.integers(1, 32), min_size=1, max_size=4))
+def test_quota_invariants(rates):
+    quotas = compute_quotas(rates)
+    assert all(q >= 1 for q in quotas)
+    served = {q * r for q, r in zip(quotas, rates)}
+    assert len(served) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(r0=st.integers(1, 20), r1=st.integers(1, 20), seed=st.integers(0, 5))
+def test_qbmi_never_starves_either_kernel(r0, r1, seed):
+    qbmi = QuotaBMI(2, initial_req_per_minst=(r0, r1))
+    wins = [0, 0]
+    for _ in range(500):
+        wins[[0, 1][qbmi.pick([0, 1])]] += 1
+    assert wins[0] > 0 and wins[1] > 0

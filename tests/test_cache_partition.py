@@ -1,0 +1,95 @@
+"""Unit tests for UCP cache partitioning (paper §3.1)."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.core.cache_partition import ShadowTagArray, UCPController, lookahead_partition
+from repro.mem.cache import SetAssocCache
+
+
+def cache_cfg(assoc=4, sets=4):
+    return CacheConfig(size_bytes=assoc * sets * 128, line_size=128,
+                       assoc=assoc, mshrs=8, miss_queue=4, xor_index=False)
+
+
+class TestShadowTagArray:
+    def test_stack_distance_counting(self):
+        atd = ShadowTagArray(cache_cfg(assoc=4, sets=1))
+        atd.access(0)          # miss
+        atd.access(0)          # hit at MRU (way 0)
+        atd.access(1)          # miss
+        atd.access(0)          # hit at way 1
+        assert atd.way_hits[0] == 1
+        assert atd.way_hits[1] == 1
+        assert atd.misses == 2
+
+    def test_utility_is_cumulative(self):
+        atd = ShadowTagArray(cache_cfg(assoc=4, sets=1))
+        atd.way_hits = [10, 5, 2, 0]
+        assert atd.utility(1) == 10
+        assert atd.utility(3) == 17
+
+    def test_lru_eviction_in_shadow(self):
+        atd = ShadowTagArray(cache_cfg(assoc=2, sets=1))
+        atd.access(0)
+        atd.access(2)
+        atd.access(4)  # evicts 0
+        atd.access(0)  # miss again
+        assert atd.misses == 4
+
+    def test_decay_halves_counters(self):
+        atd = ShadowTagArray(cache_cfg())
+        atd.way_hits = [8, 4, 2, 1]
+        atd.decay()
+        assert atd.way_hits == [4, 2, 1, 0]
+
+
+class TestLookahead:
+    def test_allocates_to_higher_utility(self):
+        # kernel 0: strong reuse in first 2 ways; kernel 1: streaming.
+        utilities = [[100, 180, 200, 210], [5, 6, 7, 8]]
+        alloc = lookahead_partition(utilities, total_ways=4)
+        assert alloc[0] > alloc[1]
+        assert sum(alloc) == 4
+
+    def test_minimum_one_way_each(self):
+        utilities = [[0, 0, 0, 0], [100, 200, 300, 400]]
+        alloc = lookahead_partition(utilities, total_ways=4)
+        assert alloc[0] >= 1
+
+    def test_rejects_impossible_minimum(self):
+        with pytest.raises(ValueError):
+            lookahead_partition([[1], [1], [1]], total_ways=2)
+
+    def test_symmetric_utilities_split_evenly(self):
+        utilities = [[10, 20, 30, 40], [10, 20, 30, 40]]
+        alloc = lookahead_partition(utilities, total_ways=4)
+        assert alloc == [2, 2]
+
+
+class TestUCPController:
+    def test_repartitions_on_interval(self):
+        tags = SetAssocCache(cache_cfg())
+        ucp = UCPController(2, tags, interval=100)
+        # kernel 0 reuses 3 lines per set (needs 3 ways); kernel 1 streams.
+        for i in range(300):
+            ucp.observe(0, i % 12)
+            ucp.observe(1, 1000 + i)
+            ucp.tick(i)
+        assert ucp.partitions_applied >= 2
+        part = ucp.current_partition()
+        assert part[0] > part[1], "reuse kernel should win ways"
+        assert sum(part.values()) == tags.assoc
+
+    def test_partition_applied_to_tag_store(self):
+        tags = SetAssocCache(cache_cfg())
+        ucp = UCPController(2, tags, interval=10)
+        for i in range(20):
+            ucp.observe(0, i % 2)
+            ucp.observe(1, 100 + i)
+            ucp.tick(i)
+        assert tags.partition is not None
+
+    def test_requires_two_kernels(self):
+        with pytest.raises(ValueError):
+            UCPController(1, SetAssocCache(cache_cfg()))

@@ -1,0 +1,181 @@
+"""Unit tests for the CKE layer: feasibility, Warped-Slicer, SMK,
+spatial multitasking and the left-over policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import scaled_config
+from repro.cke.leftover import leftover_partition
+from repro.cke.partition import (
+    TBPartition,
+    even_partition,
+    feasible_partitions,
+    fits_together,
+    max_feasible,
+)
+from repro.cke.smk import drf_partition, smk_quotas
+from repro.cke.spatial import spatial_masks, spatial_tb_limits
+from repro.cke.warped_slicer import (
+    ScalabilityCurve,
+    sweet_spot,
+    theoretical_weighted_speedup,
+)
+from repro.workloads.profiles import get_profile
+
+CFG = scaled_config()
+
+
+class TestFeasibility:
+    def test_single_kernel_max(self):
+        bp = get_profile("bp")
+        assert fits_together([bp], [bp.max_tbs_per_sm(CFG)], CFG)
+        assert not fits_together([bp], [bp.max_tbs_per_sm(CFG) + 1], CFG)
+
+    def test_thread_limit_binds_pairs(self):
+        bp, sv = get_profile("bp"), get_profile("sv")
+        # 3x96 + 4x64 = 544 > 512 threads
+        assert not fits_together([bp, sv], [3, 4], CFG)
+        assert fits_together([bp, sv], [3, 3], CFG)
+
+    def test_max_feasible_given_other(self):
+        bp, sv = get_profile("bp"), get_profile("sv")
+        assert max_feasible([bp, sv], [3, 0], kernel=1, config=CFG) == 3
+
+    def test_enumeration_only_feasible(self):
+        bp, sv = get_profile("bp"), get_profile("sv")
+        parts = list(feasible_partitions([bp, sv], CFG))
+        assert parts, "some partition must exist"
+        for part in parts:
+            assert fits_together([bp, sv], list(part), CFG)
+            assert all(t >= 1 for t in part)
+
+    def test_even_partition_gives_everyone_tbs(self):
+        part = even_partition([get_profile("bp"), get_profile("sv")], CFG)
+        assert all(t >= 1 for t in part)
+        assert fits_together([get_profile("bp"), get_profile("sv")],
+                             list(part), CFG)
+
+    def test_tbpartition_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TBPartition((-1, 2))
+
+
+class TestScalabilityCurve:
+    def test_normalisation_against_default_occupancy(self):
+        curve = ScalabilityCurve("k", (1.0, 2.0, 2.5, 2.0))
+        assert curve.isolated_ipc == 2.0
+        assert curve.normalized(3) == pytest.approx(1.25)
+        assert curve.max_tbs == 4
+
+    def test_bounds_checked(self):
+        curve = ScalabilityCurve("k", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            curve.ipc(0)
+        with pytest.raises(ValueError):
+            curve.ipc(3)
+
+    def test_rejects_empty_or_negative(self):
+        with pytest.raises(ValueError):
+            ScalabilityCurve("k", ())
+        with pytest.raises(ValueError):
+            ScalabilityCurve("k", (-1.0,))
+
+
+class TestSweetSpot:
+    def test_picks_min_degradation_point(self):
+        bp, sv = get_profile("bp"), get_profile("sv")
+        # bp saturates at 3 TBs; sv flat from 2.
+        curve_bp = ScalabilityCurve("bp", (1.0, 2.0, 2.4, 2.45, 2.5))
+        curve_sv = ScalabilityCurve("sv", (1.0, 1.4, 1.45, 1.45, 1.45, 1.45, 1.5, 1.5))
+        part = sweet_spot([bp, sv], [curve_bp, curve_sv], CFG)
+        norms = [curve_bp.normalized(part.tbs[0]), curve_sv.normalized(part.tbs[1])]
+        # every feasible alternative must have a worse minimum
+        for other in feasible_partitions([bp, sv], CFG):
+            other_norms = [curve_bp.normalized(other.tbs[0]),
+                           curve_sv.normalized(other.tbs[1])]
+            assert min(other_norms) <= min(norms) + 1e-9
+
+    def test_theoretical_ws_is_sum_of_normals(self):
+        curve = ScalabilityCurve("k", (1.0, 2.0))
+        assert theoretical_weighted_speedup(
+            [curve, curve], TBPartition((1, 2))) == pytest.approx(0.5 + 1.0)
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            sweet_spot([get_profile("bp")], [], CFG)
+
+
+class TestSMK:
+    def test_drf_gives_everyone_tbs(self):
+        part = drf_partition([get_profile("bp"), get_profile("ks")], CFG)
+        assert all(t >= 1 for t in part)
+        assert fits_together([get_profile("bp"), get_profile("ks")],
+                             list(part), CFG)
+
+    def test_drf_balances_dominant_shares(self):
+        """A tiny-footprint kernel must not be crowded out by a
+        large-footprint one."""
+        small, large = get_profile("cp"), get_profile("cd")
+        part = drf_partition([small, large], CFG)
+        assert part.tbs[0] >= 2 and part.tbs[1] >= 2
+
+    def test_quotas_proportional_to_isolated_ipc(self):
+        quotas = smk_quotas([2.0, 1.0], epoch_insts=300)
+        assert quotas == (200, 100)
+
+    def test_quota_floor_of_one(self):
+        quotas = smk_quotas([1000.0, 0.001], epoch_insts=100)
+        assert quotas[1] >= 1
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            smk_quotas([0.0, 0.0])
+        with pytest.raises(ValueError):
+            smk_quotas([1.0, 1.0], epoch_insts=1)
+
+
+class TestSpatial:
+    def test_even_split(self):
+        masks = spatial_masks(2, CFG)
+        assert len(masks) == 2
+        assert masks[0] | masks[1] == set(range(CFG.num_sms))
+        assert not masks[0] & masks[1]
+
+    def test_uneven_counts(self):
+        cfg = scaled_config(num_sms=3)
+        masks = spatial_masks(2, cfg)
+        assert {len(m) for m in masks} == {1, 2}
+
+    def test_more_kernels_than_sms_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_masks(CFG.num_sms + 1, CFG)
+
+    def test_full_occupancy_limits(self):
+        profiles = [get_profile("bp"), get_profile("sv")]
+        limits = spatial_tb_limits(profiles, CFG)
+        assert limits == [p.max_tbs_per_sm(CFG) for p in profiles]
+
+
+class TestLeftover:
+    def test_first_kernel_takes_maximum(self):
+        bp, sv = get_profile("bp"), get_profile("sv")
+        part = leftover_partition([bp, sv], CFG)
+        assert part.tbs[0] == bp.max_tbs_per_sm(CFG)
+
+    def test_second_kernel_may_get_nothing(self):
+        # two copies of a thread-hungry kernel: the first takes all.
+        bs = get_profile("bs")
+        part = leftover_partition([bs, bs], CFG)
+        assert part.tbs[0] == bs.max_tbs_per_sm(CFG)
+        assert part.tbs[1] < part.tbs[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["cp", "hs", "bp", "sv", "ks", "cd"]),
+                min_size=2, max_size=3))
+def test_drf_always_feasible(names):
+    profiles = [get_profile(n) for n in names]
+    part = drf_partition(profiles, CFG)
+    assert fits_together(profiles, list(part), CFG)
+    assert all(t >= 1 for t in part)

@@ -1,0 +1,49 @@
+"""Tests for the CLI and the campaign report generator."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.config import scaled_config
+from repro.harness.report import build_report, write_report
+from repro.harness.runner import ExperimentRunner, RunnerSettings
+
+TINY = RunnerSettings(iso_cycles=1000, curve_cycles=800,
+                      concurrent_cycles=1200)
+
+
+class TestReport:
+    def test_build_report_contains_sections(self):
+        runner = ExperimentRunner(scaled_config(), TINY)
+        text = build_report(runner, include_sweeps=False)
+        assert "# Reproduction campaign report" in text
+        assert "Table 2" in text
+        assert "sweet spot" in text
+        assert "hardware overhead" in text
+
+    def test_write_report_round_trip(self, tmp_path):
+        path = tmp_path / "report.md"
+        runner = ExperimentRunner(scaled_config(), TINY)
+        text = write_report(str(path), runner, include_sweeps=False)
+        assert path.read_text() == text
+
+
+class TestCLI:
+    def test_schemes_listing(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "ws-dmil" in out and "smk-p+w" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "pf", "bp", "--scheme", "even",
+                     "--cycles", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup" in out
+        assert "pf+bp" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "nope", "bp"])

@@ -1,0 +1,118 @@
+"""Unit tests for the DRAM channel model (FR-FCFS, row locality)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.mem.dram import DRAMChannel, DRAMModel
+
+
+def make_model(**overrides):
+    cfg = scaled_config().replace(**overrides)
+    return DRAMModel(cfg, queue_capacity=8)
+
+
+class TestChannelMapping:
+    def test_row_granularity_interleaving(self):
+        model = make_model()
+        row_lines = model.config.dram_row_lines
+        # All lines of one row map to the same channel.
+        ch = {model.channel_for(line) for line in range(row_lines)}
+        assert len(ch) == 1
+        # Adjacent rows map to different channels.
+        assert model.channel_for(0) is not model.channel_for(row_lines)
+
+    def test_row_of(self):
+        model = make_model()
+        rl = model.config.dram_row_lines
+        assert model.row_of(0) == 0
+        assert model.row_of(rl) == 1
+
+
+class TestFRFCFS:
+    def collect(self, model, until_cycle):
+        done = []
+        for cycle in range(until_cycle):
+            model.tick(cycle, lambda payload, when: done.append((payload, when)))
+        return done
+
+    def test_row_hits_are_faster(self):
+        cfg = scaled_config()
+        fast = DRAMChannel(cfg)
+        fast.enqueue(row=5, is_write=False, payload="a")
+        fast.enqueue(row=5, is_write=False, payload="b")
+        fast.open_row = 5
+        hit_cycles = cfg.dram_row_hit_cycles
+        fast.tick(0, lambda p, w: None)
+        assert fast.busy_until == hit_cycles
+        assert fast.row_hits == 1
+        fast.tick(hit_cycles, lambda p, w: None)
+        assert fast.busy_until == 2 * hit_cycles
+        assert fast.row_hits == 2
+
+    def test_row_miss_opens_row(self):
+        cfg = scaled_config()
+        chan = DRAMChannel(cfg)
+        chan.enqueue(row=7, is_write=False, payload="a")
+        chan.tick(0, lambda p, w: None)
+        assert chan.open_row == 7
+        assert chan.busy_until == cfg.dram_row_miss_cycles
+
+    def test_reorders_for_row_hit_within_window(self):
+        cfg = scaled_config()
+        chan = DRAMChannel(cfg)
+        chan.open_row = 9
+        chan.enqueue(row=3, is_write=False, payload="other")
+        chan.enqueue(row=9, is_write=False, payload="hit")
+        order = []
+        chan.tick(0, lambda p, w: order.append(p))
+        assert order[0] == "hit", "FR-FCFS must service the open-row request first"
+
+    def test_completion_includes_access_latency(self):
+        cfg = scaled_config()
+        chan = DRAMChannel(cfg)
+        chan.enqueue(row=1, is_write=False, payload="a")
+        done = []
+        chan.tick(0, lambda p, w: done.append(w))
+        assert done[0] == cfg.dram_row_miss_cycles + cfg.dram_latency
+
+    def test_writes_produce_no_completion(self):
+        chan = DRAMChannel(scaled_config())
+        chan.enqueue(row=1, is_write=True, payload=None)
+        done = []
+        chan.tick(0, lambda p, w: done.append(w))
+        assert not done
+        assert chan.serviced == 1
+
+
+class TestCapacity:
+    def test_queue_capacity_enforced(self):
+        chan = DRAMChannel(scaled_config(), capacity=2)
+        chan.enqueue(1, False, "a")
+        chan.enqueue(2, False, "b")
+        assert chan.full
+        with pytest.raises(RuntimeError):
+            chan.enqueue(3, False, "c")
+
+    def test_best_effort_writes_dropped_when_full(self):
+        model = DRAMModel(scaled_config(), queue_capacity=1)
+        line = 0
+        assert model.enqueue_write(line)
+        assert not model.enqueue_write(line)
+        assert model.dropped_writes == 1
+
+    def test_can_accept_tracks_target_channel(self):
+        model = DRAMModel(scaled_config(), queue_capacity=1)
+        model.enqueue_read(0, "a")
+        assert not model.can_accept(0)
+        other = model.config.dram_row_lines  # next row -> next channel
+        assert model.can_accept(other)
+
+
+def test_row_hit_rate_statistic():
+    model = DRAMModel(scaled_config(), queue_capacity=8)
+    for i in range(4):
+        model.enqueue_read(i, i)  # same row -> same channel, 3 hits after open
+    for cycle in range(100):
+        model.tick(cycle, lambda p, w: None)
+    assert model.total_serviced() == 4
+    assert model.row_hit_rate() == pytest.approx(3 / 4)

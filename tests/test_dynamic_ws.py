@@ -1,0 +1,94 @@
+"""Tests for the dynamic Warped-Slicer (online profiling, §2.5)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.cke.dynamic_ws import DynamicWarpedSlicer
+from repro.cke.partition import fits_together
+from repro.core.arbiter import SchemeConfig
+from repro.harness.runner import ExperimentRunner, RunnerSettings
+from repro.workloads.mixes import mix
+from repro.workloads.profiles import get_profile
+
+CFG = scaled_config()
+
+
+def make_slicer(names=("bp", "sv"), **kwargs):
+    profiles = [get_profile(n) for n in names]
+    kwargs.setdefault("phase_cycles", 600)
+    return DynamicWarpedSlicer(profiles, CFG, **kwargs), profiles
+
+
+class TestConstruction:
+    def test_rejects_more_kernels_than_sms(self):
+        profiles = [get_profile(n) for n in ("bp", "sv", "ks")]
+        with pytest.raises(ValueError):
+            DynamicWarpedSlicer(profiles, scaled_config(num_sms=2))
+
+    def test_rejects_bad_settle(self):
+        with pytest.raises(ValueError):
+            make_slicer(settle_frac=1.0)
+
+    def test_rejects_tiny_phase(self):
+        with pytest.raises(ValueError):
+            make_slicer(phase_cycles=5)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        slicer, profiles = make_slicer()
+        return slicer.execute(measure_cycles=2000,
+                              reconfigure_settle=400), profiles
+
+    def test_curves_cover_all_tb_counts(self, outcome):
+        dyn, profiles = outcome
+        for curve, profile in zip(dyn.curves, profiles):
+            assert curve.max_tbs == profile.max_tbs_per_sm(CFG)
+            assert all(v >= 0 for v in curve.ipc_by_tbs)
+
+    def test_curves_show_scaling(self, outcome):
+        dyn, _ = outcome
+        bp_curve = dyn.curves[0]
+        assert bp_curve.ipc(2) > bp_curve.ipc(1), (
+            "bp must scale with TBs even in online profiling")
+
+    def test_partition_is_feasible(self, outcome):
+        dyn, profiles = outcome
+        assert fits_together(profiles, list(dyn.partition), CFG)
+        assert all(t >= 1 for t in dyn.partition)
+
+    def test_window_accounting(self, outcome):
+        dyn, _ = outcome
+        assert dyn.measure_cycles == 2000
+        assert dyn.profiling_cycles > 0
+        assert all(v >= 0 for v in dyn.window_insts.values())
+        assert dyn.window_ipc(0) > 0
+
+    def test_total_cycles_conserved(self, outcome):
+        dyn, _ = outcome
+        assert dyn.result.cycles == (dyn.profiling_cycles + 400
+                                     + dyn.measure_cycles)
+
+
+class TestRunnerIntegration:
+    def test_dws_scheme_name(self):
+        runner = ExperimentRunner(CFG, RunnerSettings(
+            iso_cycles=1200, curve_cycles=800, concurrent_cycles=1500))
+        out = runner.run_mix(mix("bp", "sv"), "dws")
+        assert out.scheme == "dws"
+        assert len(out.partition) == 2
+        assert out.weighted_speedup > 0
+
+    def test_dws_with_mechanism_suffix(self):
+        runner = ExperimentRunner(CFG, RunnerSettings(
+            iso_cycles=1200, curve_cycles=800, concurrent_cycles=1500))
+        out = runner.run_mix(mix("bp", "sv"), "dws-dmil")
+        assert out.weighted_speedup > 0
+
+    def test_stack_applies_during_dynamic_run(self):
+        slicer, _ = make_slicer()
+        stack = SchemeConfig(mil="dmil")
+        slicer.stack = stack
+        dyn = slicer.execute(measure_cycles=800, reconfigure_settle=100)
+        assert dyn.window_insts

@@ -1,0 +1,90 @@
+"""Unit tests for the §4.5 energy model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import scaled_config
+from repro.core.arbiter import SchemeConfig
+from repro.metrics.energy import EnergyModel, EnergyReport, energy_report
+from repro.sim.engine import GPU, make_launches
+from repro.sim.stats import KernelStats, RunResult
+from repro.workloads.profiles import get_profile
+
+
+def synthetic_result(alu=100, sfu=10, mem=20, l1=40, l2=30, dram=10,
+                     flits=50, cycles=1000, num_sms=2):
+    stats = KernelStats()
+    stats.alu_insts = alu
+    stats.sfu_insts = sfu
+    stats.mem_insts = mem
+    stats.warp_insts = alu + sfu + mem
+    return RunResult(
+        cycles=cycles, kernel_names=["k"], kernels={0: stats},
+        l1d_accesses={0: l1}, l1d_hits={0: l1 // 2}, l1d_misses={0: l1 // 2},
+        l1d_rsfails={0: 0}, num_sms=num_sms,
+        l2_accesses=l2, l2_misses=l2 // 2, dram_accesses=dram,
+        icnt_flits=flits,
+    )
+
+
+class TestEnergyModel:
+    def test_rejects_negative_energies(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_access=-1.0)
+
+    def test_leakage_scales_with_area_and_time(self):
+        model = EnergyModel(leakage_per_sm_cycle=5.0)
+        short = energy_report(synthetic_result(cycles=100), model)
+        long = energy_report(synthetic_result(cycles=200), model)
+        assert long.leakage == 2 * short.leakage
+        assert short.leakage == 5.0 * 2 * 100
+
+    def test_dynamic_component_sums_events(self):
+        model = EnergyModel(alu_op=1, sfu_op=0, issue_op=0, l1_access=0,
+                            l2_access=0, dram_access=0, icnt_flit=0,
+                            leakage_per_sm_cycle=0)
+        report = energy_report(synthetic_result(alu=7), model)
+        assert report.dynamic == 7
+
+    def test_dram_dominates_per_event(self):
+        model = EnergyModel()
+        assert model.dram_access > model.l2_access > model.l1_access \
+            > model.alu_op
+
+    def test_efficiency_figure(self):
+        report = EnergyReport(dynamic=50.0, leakage=50.0,
+                              instructions=200, cycles=10)
+        assert report.total == 100.0
+        assert report.insts_per_energy == 2.0
+        assert report.avg_power == 10.0
+        assert set(report.breakdown()) == {
+            "dynamic", "leakage", "total", "insts_per_energy"}
+
+
+class TestEnergyOnRealRuns:
+    def test_throughput_improvement_amortises_leakage(self):
+        """§4.5: same window, more instructions => better efficiency
+        whenever leakage is a significant share."""
+        cfg = scaled_config()
+        launches = make_launches([get_profile("dc")], [8], cfg)
+        busy = GPU(cfg, launches, SchemeConfig()).run(2000)
+        launches = make_launches([get_profile("dc")], [1], cfg)
+        idle = GPU(cfg, launches, SchemeConfig()).run(2000)
+        busy_rep = energy_report(busy)
+        idle_rep = energy_report(idle)
+        assert busy_rep.instructions > idle_rep.instructions
+        assert busy_rep.insts_per_energy > idle_rep.insts_per_energy
+        assert busy_rep.avg_power > idle_rep.avg_power, (
+            "dynamic power rises with utilization — the §4.5 trade-off")
+
+
+@settings(max_examples=40, deadline=None)
+@given(alu=st.integers(0, 10_000), dram=st.integers(0, 5_000),
+       cycles=st.integers(1, 100_000))
+def test_energy_is_nonnegative_and_monotone(alu, dram, cycles):
+    base = energy_report(synthetic_result(alu=alu, dram=dram, cycles=cycles))
+    more = energy_report(synthetic_result(alu=alu + 1, dram=dram,
+                                          cycles=cycles))
+    assert base.total >= 0
+    assert more.dynamic >= base.dynamic

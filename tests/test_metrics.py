@@ -1,0 +1,81 @@
+"""Unit and property tests for the multiprogramming metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.speedup import antt, fairness, normalized_ipcs, weighted_speedup
+
+
+class TestNormalizedIPCs:
+    def test_basic(self):
+        assert normalized_ipcs([1.0, 2.0], [2.0, 2.0]) == [0.5, 1.0]
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            normalized_ipcs([1.0], [1.0, 2.0])
+
+    def test_rejects_zero_isolated(self):
+        with pytest.raises(ValueError):
+            normalized_ipcs([1.0], [0.0])
+
+
+class TestWeightedSpeedup:
+    def test_is_sum(self):
+        assert weighted_speedup([0.5, 0.7]) == pytest.approx(1.2)
+
+    def test_perfect_sharing_equals_kernel_count(self):
+        assert weighted_speedup([1.0, 1.0, 1.0]) == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([])
+
+
+class TestANTT:
+    def test_is_mean_reciprocal(self):
+        assert antt([0.5, 0.25]) == pytest.approx((2 + 4) / 2)
+
+    def test_one_when_no_slowdown(self):
+        assert antt([1.0, 1.0]) == 1.0
+
+    def test_infinite_for_starved_kernel(self):
+        assert antt([0.0, 1.0]) == float("inf")
+
+
+class TestFairness:
+    def test_equal_speedups_are_fair(self):
+        assert fairness([0.5, 0.5]) == 1.0
+
+    def test_min_over_max(self):
+        assert fairness([0.2, 0.8]) == pytest.approx(0.25)
+
+    def test_starved_kernel_is_zero(self):
+        assert fairness([0.0, 0.9]) == 0.0
+
+
+norm_lists = st.lists(st.floats(0.01, 2.0), min_size=2, max_size=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(norm_lists)
+def test_metric_invariants(norms):
+    ws = weighted_speedup(norms)
+    assert 0 < ws <= 2.0 * len(norms)
+    assert 0 < fairness(norms) <= 1.0
+    assert antt(norms) >= 1.0 / max(norms) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(norm_lists, st.floats(1.1, 3.0))
+def test_uniform_improvement_moves_all_metrics_correctly(norms, factor):
+    better = [n * factor for n in norms]
+    assert weighted_speedup(better) > weighted_speedup(norms)
+    assert antt(better) < antt(norms)
+    assert fairness(better) == pytest.approx(fairness(norms))
+
+
+@settings(max_examples=60, deadline=None)
+@given(norm_lists)
+def test_fairness_is_permutation_invariant(norms):
+    assert fairness(norms) == pytest.approx(fairness(list(reversed(norms))))

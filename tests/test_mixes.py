@@ -1,0 +1,76 @@
+"""Unit tests for workload mix construction."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    PAPER_CASE_STUDY_PAIRS,
+    WorkloadMix,
+    all_pairs,
+    classify_mix,
+    mix,
+    paper_pairs,
+    representative_pairs,
+    representative_triples,
+)
+from repro.workloads.profiles import get_profile
+
+
+class TestWorkloadMix:
+    def test_name_and_class(self):
+        m = mix("bp", "sv")
+        assert m.name == "bp+sv"
+        assert m.mix_class == "C+M"
+        assert len(m) == 2
+
+    def test_class_sorted_c_first(self):
+        assert mix("sv", "bp").mix_class == "C+M"
+        assert mix("sv", "ks").mix_class == "M+M"
+        assert mix("pf", "bp").mix_class == "C+C"
+
+    def test_triple_classes(self):
+        assert mix("pf", "sv", "bp").mix_class == "C+C+M"
+        assert mix("sv", "ks", "ax").mix_class == "M+M+M"
+
+    def test_requires_two_kernels(self):
+        with pytest.raises(ValueError):
+            WorkloadMix((get_profile("bp"),))
+
+    def test_classify_mix_helper(self):
+        assert classify_mix([get_profile("sv"), get_profile("bp")]) == "C+M"
+
+
+class TestSelections:
+    def test_paper_pairs_are_the_case_studies(self):
+        names = [m.name for m in paper_pairs()]
+        assert names == ["+".join(p) for p in PAPER_CASE_STUDY_PAIRS]
+        classes = [m.mix_class for m in paper_pairs()]
+        assert classes == ["C+C", "C+C", "C+M", "C+M", "M+M", "M+M"]
+
+    def test_all_pairs_count(self):
+        assert len(all_pairs()) == 13 * 12 // 2
+
+    def test_representative_pairs_deterministic(self):
+        a = [m.name for m in representative_pairs(4)]
+        b = [m.name for m in representative_pairs(4)]
+        assert a == b
+
+    def test_representative_pairs_quota_per_class(self):
+        pairs = representative_pairs(4)
+        counts = {}
+        for m in pairs:
+            counts[m.mix_class] = counts.get(m.mix_class, 0) + 1
+        assert set(counts) == {"C+C", "C+M", "M+M"}
+        assert all(v == 4 for v in counts.values())
+
+    def test_representative_pairs_include_case_studies(self):
+        names = {m.name for m in representative_pairs(3)}
+        assert {"pf+bp", "bp+sv", "sv+ks"} <= names
+
+    def test_representative_triples_classes(self):
+        triples = representative_triples(2)
+        classes = sorted({m.mix_class for m in triples})
+        assert classes == ["C+C+C", "C+C+M", "C+M+M", "M+M+M"]
+        counts = {}
+        for m in triples:
+            counts[m.mix_class] = counts.get(m.mix_class, 0) + 1
+        assert all(v <= 2 for v in counts.values())

@@ -1,0 +1,66 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.mem.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_allocate_and_release(self):
+        mshrs = MSHRFile(capacity=2)
+        entry = mshrs.allocate(0x100, kernel=0, waiter="a")
+        assert len(mshrs) == 1
+        assert entry.waiters == ["a"]
+        released = mshrs.release(0x100)
+        assert released.waiters == ["a"]
+        assert len(mshrs) == 0
+
+    def test_capacity_enforced(self):
+        mshrs = MSHRFile(capacity=1)
+        mshrs.allocate(0x100, 0, "a")
+        assert mshrs.full
+        assert not mshrs.can_allocate()
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0x200, 0, "b")
+
+    def test_merge_secondary_miss(self):
+        mshrs = MSHRFile(capacity=4, merge_limit=2)
+        mshrs.allocate(0x100, 0, "a")
+        assert mshrs.can_merge(0x100)
+        mshrs.merge(0x100, "b")
+        assert not mshrs.can_merge(0x100), "merge limit reached"
+        with pytest.raises(RuntimeError):
+            mshrs.merge(0x100, "c")
+
+    def test_cannot_merge_into_absent_entry(self):
+        mshrs = MSHRFile(capacity=4)
+        assert not mshrs.can_merge(0x500)
+
+    def test_double_allocate_same_line_rejected(self):
+        mshrs = MSHRFile(capacity=4)
+        mshrs.allocate(0x100, 0, "a")
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0x100, 0, "b")
+
+    def test_release_unknown_line_rejected(self):
+        with pytest.raises(RuntimeError):
+            MSHRFile(capacity=2).release(0x42)
+
+    def test_peak_used_high_water_mark(self):
+        mshrs = MSHRFile(capacity=4)
+        mshrs.allocate(1, 0, "a")
+        mshrs.allocate(2, 0, "b")
+        mshrs.release(1)
+        mshrs.release(2)
+        assert mshrs.peak_used == 2
+
+    def test_occupancy_by_kernel(self):
+        mshrs = MSHRFile(capacity=4)
+        mshrs.allocate(1, kernel=0, waiter="a")
+        mshrs.allocate(2, kernel=1, waiter="b")
+        mshrs.allocate(3, kernel=1, waiter="c")
+        assert mshrs.occupancy_by_kernel() == {0: 1, 1: 2}
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(capacity=0)

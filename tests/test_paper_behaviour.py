@@ -1,0 +1,154 @@
+"""End-to-end behavioural tests: the paper's core phenomena must hold
+on the scaled machine.
+
+These are the load-bearing reproduction checks; they use reduced cycle
+budgets, so thresholds are deliberately loose — the benches in
+``benchmarks/`` regenerate the full numbers.
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.harness.runner import ExperimentRunner, RunnerSettings
+from repro.workloads.mixes import mix
+from repro.workloads.profiles import ALL_PROFILES, COMPUTE_PROFILES, MEMORY_PROFILES
+
+SETTINGS = RunnerSettings(iso_cycles=5000, curve_cycles=3000,
+                          concurrent_cycles=8000)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scaled_config(), SETTINGS)
+
+
+class TestWorkloadCharacterisation:
+    """Table 2 / Figure 2: the C/M split must be reproducible from the
+    LSU-stall statistic alone."""
+
+    def test_classification_separates_cleanly(self, runner):
+        c_stalls = [runner.isolated(p).lsu_stall_pct for p in COMPUTE_PROFILES]
+        m_stalls = [runner.isolated(p).lsu_stall_pct for p in MEMORY_PROFILES]
+        assert max(c_stalls) < min(m_stalls), (
+            "every compute-intensive kernel must stall less than every "
+            f"memory-intensive one (C={c_stalls}, M={m_stalls})")
+
+    def test_memory_kernels_have_higher_rsfail(self, runner):
+        c_rs = [runner.isolated(p).l1d_rsfail_rate for p in COMPUTE_PROFILES]
+        m_rs = [runner.isolated(p).l1d_rsfail_rate for p in MEMORY_PROFILES]
+        assert sum(m_rs) / len(m_rs) > 2 * sum(c_rs) / len(c_rs)
+
+    def test_utilization_inversely_related_to_stalls(self, runner):
+        """Figure 2's headline: compute utilization and LSU stalls are
+        inversely related (rank correlation must be negative)."""
+        records = [runner.isolated(p) for p in ALL_PROFILES]
+        utils = [r.compute_utilization for r in records]
+        stalls = [r.lsu_stall_pct for r in records]
+        n = len(records)
+        concordant = discordant = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                s = (utils[i] - utils[j]) * (stalls[i] - stalls[j])
+                if s > 0:
+                    concordant += 1
+                elif s < 0:
+                    discordant += 1
+        assert discordant > concordant, "higher utilization ⇒ fewer stalls"
+
+    def test_miss_rates_track_table2(self, runner):
+        """Measured isolated L1D miss rate within 0.25 of Table 2."""
+        for profile in ALL_PROFILES:
+            measured = runner.isolated(profile).l1d_miss_rate
+            paper = profile.paper["l1d_miss_rate"]
+            assert abs(measured - paper) < 0.25, (
+                f"{profile.name}: measured {measured:.2f} vs paper {paper:.2f}")
+
+
+class TestScalabilityCurves:
+    def test_sv_curve_peaks_before_max(self, runner):
+        """Figure 3(a): sv's performance peaks below max occupancy."""
+        from repro.workloads.profiles import get_profile
+        curve = runner.curve(get_profile("sv"))
+        peak_at = max(range(1, curve.max_tbs + 1), key=curve.ipc)
+        assert peak_at < curve.max_tbs
+
+    def test_bp_curve_rises_from_one_tb(self, runner):
+        from repro.workloads.profiles import get_profile
+        curve = runner.curve(get_profile("bp"))
+        assert curve.ipc(2) > curve.ipc(1) * 1.3
+
+
+class TestInterference:
+    """§2.5 + Figure 4: achieved weighted speedup falls short of the
+    theoretical prediction for C+M, and the compute kernel starves."""
+
+    def test_compute_kernel_starves_next_to_memory_kernel(self, runner):
+        outcome = runner.run_mix(mix("bp", "ks"), "ws")
+        bp_norm, ks_norm = outcome.norm_ipcs
+        assert bp_norm < 0.5, "bp must starve under plain intra-SM sharing"
+        assert ks_norm > bp_norm
+
+    def test_achieved_below_theoretical_for_cm(self, runner):
+        from repro.harness.experiments import figure4_gap
+        rows = figure4_gap(runner, pairs=[mix("bp", "ks"), mix("bp", "sv")])
+        for row in rows:
+            assert row.achieved < row.theoretical
+
+    def test_l1d_access_starvation_timeline(self, runner):
+        """Figure 6: concurrent bp gets far fewer L1D accesses per
+        interval than bp alone."""
+        from repro.harness.experiments import figure6_timelines
+        series = figure6_timelines(runner, "bp", "sv", interval=1000,
+                                   cycles=6000)
+        alone = series["bp_alone"]
+        shared = series["bp_shared"]
+        steady_alone = sum(alone[2:]) / max(1, len(alone) - 2)
+        steady_shared = sum(shared[2:]) / max(1, len(shared) - 2)
+        assert steady_shared < 0.8 * steady_alone
+
+
+class TestSchemes:
+    def test_dmil_improves_antt_on_cm(self, runner):
+        base = runner.run_mix(mix("bp", "ks"), "ws")
+        dmil = runner.run_mix(mix("bp", "ks"), "ws-dmil")
+        assert dmil.antt < base.antt
+        assert dmil.fairness > base.fairness
+
+    def test_qbmi_improves_fairness_on_mm(self, runner):
+        base = runner.run_mix(mix("sv", "ks"), "ws")
+        qbmi = runner.run_mix(mix("sv", "ks"), "ws-qbmi")
+        assert qbmi.fairness > base.fairness
+
+    def test_schemes_neutral_on_cc(self, runner):
+        """C+C workloads have no memory pipeline stalls — QBMI and
+        DMIL must neither help nor hurt much (paper Figs 11/12)."""
+        base = runner.run_mix(mix("pf", "bp"), "ws")
+        for scheme in ("ws-qbmi", "ws-dmil"):
+            out = runner.run_mix(mix("pf", "bp"), scheme)
+            assert out.weighted_speedup == pytest.approx(
+                base.weighted_speedup, rel=0.10)
+
+    def test_static_limit_on_memory_kernel_rescues_compute_kernel(self, runner):
+        """Figure 9(b)'s shape: limiting the memory-intensive kernel
+        frees the compute-intensive one."""
+        base = runner.run_mix(mix("bp", "ks"), "ws")
+        limited = runner.run_mix(mix("bp", "ks"), "ws-smil:inf,1")
+        assert limited.norm_ipcs[0] > 2 * base.norm_ipcs[0]
+
+    def test_ucp_does_not_improve_weighted_speedup(self, runner):
+        """§3.1 (Figure 5): L1D way partitioning is not effective."""
+        pairs = [mix("bp", "sv"), mix("sv", "ks")]
+        base = [runner.run_mix(m, "ws").weighted_speedup for m in pairs]
+        ucp = [runner.run_mix(m, "ws-ucp").weighted_speedup for m in pairs]
+        assert sum(ucp) <= sum(base) * 1.05
+
+    def test_smk_dmil_beats_smk_pw(self, runner):
+        pw = runner.run_mix(mix("bp", "ks"), "smk-p+w")
+        dmil = runner.run_mix(mix("bp", "ks"), "smk-p+dmil")
+        assert dmil.weighted_speedup > pw.weighted_speedup
+
+    def test_three_kernel_mixes_run(self, runner):
+        outcome = runner.run_mix(mix("bp", "sv", "ks"), "ws-dmil",
+                                 cycles=6000)
+        assert len(outcome.norm_ipcs) == 3
+        assert all(n > 0 for n in outcome.norm_ipcs)

@@ -1,0 +1,85 @@
+"""Tests for the 13 calibrated benchmark profiles (paper Table 2)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    COMPUTE_PROFILES,
+    MEMORY_PROFILES,
+    get_profile,
+)
+
+PAPER_NAMES = {"cp", "hs", "dc", "pf", "bp", "bs", "st",
+               "3m", "sv", "cd", "s2", "ks", "ax"}
+
+
+class TestRoster:
+    def test_all_thirteen_benchmarks_present(self):
+        assert {p.name for p in ALL_PROFILES} == PAPER_NAMES
+
+    def test_class_split_matches_table2(self):
+        assert {p.name for p in COMPUTE_PROFILES} == {
+            "cp", "hs", "dc", "pf", "bp", "bs", "st"}
+        assert {p.name for p in MEMORY_PROFILES} == {
+            "3m", "sv", "cd", "s2", "ks", "ax"}
+
+    def test_get_profile_lookup(self):
+        assert get_profile("bp").full_name == "backprop"
+        with pytest.raises(KeyError):
+            get_profile("nope")
+
+    def test_instruction_mix_matches_table2(self):
+        expected = {  # (Cinst/Minst, Req/Minst) straight from Table 2
+            "cp": (4, 2), "hs": (7, 3), "dc": (5, 1), "pf": (6, 2),
+            "bp": (6, 2), "bs": (4, 1), "st": (4, 1), "3m": (2, 1),
+            "sv": (3, 3), "cd": (9, 6), "s2": (2, 2), "ks": (3, 17),
+            "ax": (2, 11),
+        }
+        for profile in ALL_PROFILES:
+            assert (profile.cinst_per_minst, profile.reqs_per_minst) \
+                == expected[profile.name], profile.name
+
+    def test_paper_reference_data_attached(self):
+        for profile in ALL_PROFILES:
+            assert profile.paper["type"] == profile.kind
+            assert 0 <= profile.paper["l1d_miss_rate"] <= 1
+
+
+class TestStaticResources:
+    def test_every_profile_fits_at_least_one_tb(self):
+        cfg = scaled_config()
+        for profile in ALL_PROFILES:
+            assert profile.max_tbs_per_sm(cfg) >= 1, profile.name
+
+    def test_tb_slot_limited_kernels(self):
+        """cp, dc, sv, cd, s2 have TB occupancy 100% in Table 2 — they
+        must be limited by TB slots (or thread slots for sv)."""
+        cfg = scaled_config()
+        for name in ("cp", "dc", "cd", "s2"):
+            assert get_profile(name).max_tbs_per_sm(cfg) == cfg.max_tbs_per_sm
+
+    def test_occupancy_ordering_tracks_paper(self):
+        """Kernels with low TB occupancy in the paper (hs, bs, st at
+        <=43.8%) must reach fewer concurrent TBs than the TB-slot
+        limited ones."""
+        cfg = scaled_config()
+        low = max(get_profile(n).max_tbs_per_sm(cfg) for n in ("hs", "bs", "st"))
+        assert low < cfg.max_tbs_per_sm
+
+    def test_smem_users_match_table2(self):
+        uses_smem = {p.name for p in ALL_PROFILES if p.smem_per_tb > 0}
+        assert uses_smem == {"cp", "hs", "dc", "pf", "bp"}
+
+    def test_rf_occupancy_close_to_paper(self):
+        """Register-file occupancy at max TBs within 15 points of the
+        paper's Table 2 column."""
+        cfg = scaled_config()
+        for profile in ALL_PROFILES:
+            occ = profile.occupancy(cfg)
+            assert abs(occ["rf"] - profile.paper["rf_oc"]) < 0.15, profile.name
+
+    def test_memory_kernels_have_higher_mlp(self):
+        avg_c = sum(p.mlp for p in COMPUTE_PROFILES) / len(COMPUTE_PROFILES)
+        avg_m = sum(p.mlp for p in MEMORY_PROFILES) / len(MEMORY_PROFILES)
+        assert avg_m > avg_c

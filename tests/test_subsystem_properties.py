@@ -1,0 +1,84 @@
+"""Property-based tests on the memory backend: conservation and
+determinism under randomized request streams."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import scaled_config
+from repro.mem.cache import AccessResult
+from repro.mem.subsystem import MemRequest, MemorySubsystem
+
+
+class Counter:
+    def __init__(self):
+        self.done = 0
+
+    def request_done(self, cycle):
+        self.done += 1
+
+
+def drive_random_stream(seed, n_requests, write_frac=0.1, bypass_frac=0.0,
+                        max_cycles=60_000):
+    """Issue a random request stream and drain; returns (loads_issued,
+    loads_completed, subsystem)."""
+    cfg = scaled_config()
+    mem = MemorySubsystem(cfg)
+    rng = random.Random(seed)
+    counter = Counter()
+    issued_loads = 0
+    issued = 0
+    cycle = 0
+    pending_req = None
+    while issued < n_requests or not mem.quiescent():
+        if issued < n_requests:
+            if pending_req is None:
+                is_write = rng.random() < write_frac
+                bypass = (not is_write) and rng.random() < bypass_frac
+                pending_req = MemRequest(
+                    line=rng.randrange(4096), kernel=rng.randrange(2),
+                    sm_id=rng.randrange(cfg.num_sms), is_write=is_write,
+                    meminst=None if is_write else counter, bypass=bypass)
+            result = mem.l1s[pending_req.sm_id].access(pending_req, cycle)
+            if result not in AccessResult.RSFAILS:
+                if not pending_req.is_write and result != AccessResult.HIT:
+                    issued_loads += 1
+                elif not pending_req.is_write:
+                    counter.done += 1  # L1 hit completes inline
+                    issued_loads += 1
+                issued += 1
+                pending_req = None
+        mem.tick(cycle)
+        cycle += 1
+        assert cycle < max_cycles, "stream did not drain"
+    return issued_loads, counter.done, mem
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_every_load_completes_exactly_once(seed):
+    issued, completed, mem = drive_random_stream(seed, n_requests=120)
+    assert completed == issued
+    assert mem.quiescent()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_bypassed_streams_also_conserve(seed):
+    issued, completed, mem = drive_random_stream(seed, n_requests=100,
+                                                 bypass_frac=0.5)
+    assert completed == issued
+    # bypassed fills never allocate into L1
+    total_bypasses = sum(sum(l1.stats.bypasses.values()) for l1 in mem.l1s)
+    assert total_bypasses > 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_backend_is_deterministic(seed):
+    a = drive_random_stream(seed, n_requests=80)
+    b = drive_random_stream(seed, n_requests=80)
+    assert a[0] == b[0] and a[1] == b[1]
+    assert a[2].dram.total_serviced() == b[2].dram.total_serviced()
+    assert a[2].l2_stats.accesses == b[2].l2_stats.accesses
