@@ -1,0 +1,34 @@
+"""Campaign wall clock: reference-serial vs fast-serial vs parallel.
+
+Times the §4 mechanism-ablation campaign (two mixes × four schemes,
+Warped-Slicer curves included) on the paper-machine config three ways,
+asserts every leg produces bit-identical outcomes, writes
+``BENCH_campaign.json`` at the repo root, and requires the end-to-end
+stack (fast loops + 4-worker executor) to beat the reference-serial
+leg by at least 2×.
+
+Run explicitly (the perf suite is not part of the default test paths)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_campaign.py -m perf
+"""
+
+import pytest
+
+from repro.harness.perfbench import bench_campaign
+
+#: acceptance floor for the end-to-end campaign speedup with 4 workers.
+MIN_SPEEDUP = 2.0
+WORKERS = 4
+
+
+@pytest.mark.perf
+def bench_campaign_speedup():
+    report = bench_campaign(workers=WORKERS)
+    assert report["identical"]
+    assert report["campaign_speedup"] >= MIN_SPEEDUP, (
+        f"campaign {report['campaign_speedup']:.2f}x with "
+        f"{WORKERS} workers — below the {MIN_SPEEDUP}x floor "
+        f"(fast-loop {report['fast_loop_speedup']:.2f}x, "
+        f"parallel {report['parallel_speedup']:.2f}x on "
+        f"{report['cpu_count']} CPUs)"
+    )

@@ -1,0 +1,31 @@
+"""Simulated-cycles-per-second: fast loop vs reference loop.
+
+Runs the paper-machine workloads in
+:data:`repro.harness.perfbench.CYCLE_LOOP_WORKLOADS` under both cycle
+loops, asserts bit-identical results, writes ``BENCH_cycle_loop.json``
+at the repo root, and requires the reference workload (a concurrent
+bp+cd run) to simulate at least 1.5× faster under the fast loop.
+
+Run explicitly (the perf suite is not part of the default test paths)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_cycle_loop.py -m perf
+"""
+
+import pytest
+
+from repro.harness.perfbench import bench_cycle_loop
+
+#: acceptance floor for the single-thread fast-loop speedup.
+MIN_SPEEDUP = 1.5
+
+
+@pytest.mark.perf
+def bench_cycle_loop_speedup():
+    report = bench_cycle_loop()
+    for workload in report["workloads"]:
+        assert workload["identical"], \
+            f"{workload['workload']}: fast loop diverged"
+    assert report["reference_workload_speedup"] >= MIN_SPEEDUP, (
+        f"fast loop {report['reference_workload_speedup']:.2f}x on "
+        f"{report['reference_workload']} — below the {MIN_SPEEDUP}x floor"
+    )

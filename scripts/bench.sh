@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Run the wall-clock perf benchmarks: enforces the speedup floors
+# (>=1.5x cycle loop single-thread, >=2x campaign end-to-end) and
+# refreshes BENCH_cycle_loop.json / BENCH_campaign.json at the repo
+# root.  For measurements without the assertions, use:
+#     PYTHONPATH=src python -m repro bench [--which ...] [--workers N]
+#
+# Usage: scripts/bench.sh [pytest-args...]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$root"
+
+PYTHONPATH="$root/src" python -m pytest benchmarks/perf -m perf -q "$@"

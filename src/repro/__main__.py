@@ -9,6 +9,10 @@ Commands
     One concurrent workload under one scheme.
 ``report OUT.md [--quick]``
     Full campaign report written to a markdown file.
+``campaign A,B [C,D ...] [--schemes S1,S2] [--workers N]``
+    A mixes×schemes grid fanned out over worker processes.
+``bench [--which cycle-loop|campaign|all] [--workers N]``
+    Wall-clock perf benchmarks; writes ``BENCH_*.json`` at the root.
 ``schemes``
     List the scheme names the harness understands.
 """
@@ -80,6 +84,45 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.workloads.mixes import WorkloadMix
+    from repro.workloads.profiles import get_profile
+    mixes = []
+    for spec in args.mixes:
+        names = [n.strip() for n in spec.split(",") if n.strip()]
+        if len(names) < 2:
+            print(f"mix {spec!r} needs at least two kernels", file=sys.stderr)
+            return 2
+        mixes.append(WorkloadMix(tuple(get_profile(n) for n in names)))
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    runner = ExperimentRunner(scaled_config())
+    outcomes = runner.run_campaign(mixes, schemes, workers=args.workers)
+    rows = [[o.mix_name, o.scheme, str(o.partition), o.weighted_speedup,
+             o.antt, o.fairness] for o in outcomes]
+    print(format_table(
+        ["mix", "scheme", "TBs/SM", "WS", "ANTT", "fairness"],
+        rows, precision=3))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.harness.perfbench import bench_campaign, bench_cycle_loop
+    if args.which in ("cycle-loop", "all"):
+        report = bench_cycle_loop()
+        print(f"cycle loop: {report['reference_workload']} "
+              f"{report['reference_workload_speedup']:.2f}x "
+              f"(min {report['min_speedup']:.2f}x, "
+              f"geomean {report['geomean_speedup']:.2f}x) "
+              f"-> BENCH_cycle_loop.json")
+    if args.which in ("campaign", "all"):
+        report = bench_campaign(workers=args.workers)
+        print(f"campaign: {report['campaign_speedup']:.2f}x end-to-end "
+              f"(fast loop {report['fast_loop_speedup']:.2f}x, "
+              f"{args.workers} workers {report['parallel_speedup']:.2f}x "
+              f"on {report['cpu_count']} CPUs) -> BENCH_campaign.json")
+    return 0
+
+
 def cmd_schemes(_args) -> int:
     print(format_table(["scheme", "meaning"],
                        [[a, b] for a, b in SCHEME_HELP]))
@@ -105,6 +148,19 @@ def main(argv=None) -> int:
     report.add_argument("out")
     report.add_argument("--quick", action="store_true")
     report.set_defaults(fn=cmd_report)
+
+    campaign = sub.add_parser("campaign")
+    campaign.add_argument("mixes", nargs="+", metavar="A,B",
+                          help="comma-separated kernel names per mix")
+    campaign.add_argument("--schemes", default="ws,ws-dmil")
+    campaign.add_argument("--workers", type=int, default=None)
+    campaign.set_defaults(fn=cmd_campaign)
+
+    bench = sub.add_parser("bench")
+    bench.add_argument("--which", default="all",
+                       choices=["cycle-loop", "campaign", "all"])
+    bench.add_argument("--workers", type=int, default=4)
+    bench.set_defaults(fn=cmd_bench)
 
     sub.add_parser("schemes").set_defaults(fn=cmd_schemes)
 

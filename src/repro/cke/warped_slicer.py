@@ -20,7 +20,7 @@ search:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.config import GPUConfig
 from repro.cke.partition import TBPartition, feasible_partitions

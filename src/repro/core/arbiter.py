@@ -20,7 +20,7 @@ paper's evaluation matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.bmi import MemIssuePolicy, QuotaBMI, RoundRobinBMI, UnmanagedIssue
 from repro.core.cache_partition import UCPController

@@ -190,10 +190,15 @@ class SchemeSweep:
 def scheme_sweep(runner: ExperimentRunner, schemes: Sequence[str],
                  workloads: Sequence[WorkloadMix],
                  cycles: Optional[int] = None) -> SchemeSweep:
+    """The workloads×schemes grid behind every scheme-comparison
+    figure, fanned over worker processes when the host allows (the
+    pool size resolves from ``$REPRO_BENCH_WORKERS``/CPU count; one
+    worker degrades to the serial loop).  Outcomes are bit-identical
+    to serial execution either way."""
     sweep = SchemeSweep(tuple(schemes))
-    for m in workloads:
-        for scheme in schemes:
-            sweep.add(runner.run_mix(m, scheme, cycles=cycles))
+    for outcome in runner.run_campaign(list(workloads), list(schemes),
+                                       cycles=cycles):
+        sweep.add(outcome)
     return sweep
 
 

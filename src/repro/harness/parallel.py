@@ -1,0 +1,258 @@
+"""Parallel campaign executor: fan independent simulation jobs out
+over worker processes.
+
+Experiment campaigns in this repo are embarrassingly parallel — every
+isolated run, every scalability-curve point and every mix×scheme cell
+is an independent simulation.  This module describes each unit of work
+as a small picklable job dataclass and executes a batch of them on a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* ``IsoJob``   — one kernel alone at one TB count (normalisation runs);
+* ``CurveJob`` — one kernel's full scalability curve (Warped-Slicer
+  profiling, paper §2.5 / Fig. 3a);
+* ``MixJob``   — one concurrent mix under one scheme (a campaign cell).
+
+Jobs reference kernels by their short profile names so they pickle in
+a few bytes; each worker process rebuilds a private
+:class:`~repro.harness.runner.ExperimentRunner` from the parent's
+config/settings and can additionally be pre-seeded with already-known
+isolated records and curves so it never re-derives shared inputs.
+
+Duplicate jobs within a batch are executed once (results are fanned
+back out to every requesting position), results of ``IsoJob`` /
+``CurveJob`` are installed into the parent runner's in-memory caches,
+and the shared on-disk cache (``.repro_cache``) is written atomically
+(temp file + ``os.replace`` — see ``runner.py``) so concurrent workers
+cannot corrupt records.  When multiprocessing is unavailable — or
+``workers <= 1`` — the batch degrades gracefully to an in-process
+serial loop with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cke.warped_slicer import ScalabilityCurve
+from repro.harness.runner import (ExperimentRunner, IsoRecord,
+                                  RunnerSettings, WorkloadOutcome)
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.profiles import get_profile
+
+#: environment override for the default worker count.
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+
+# ----------------------------------------------------------------------
+# job descriptions (frozen → hashable → dedupable; tiny → cheap pickles)
+@dataclass(frozen=True)
+class IsoJob:
+    """One isolated run of ``kernel`` at ``tbs`` TBs per SM."""
+
+    kernel: str
+    tbs: Optional[int] = None
+    cycles: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CurveJob:
+    """One kernel's full scalability curve (all TB counts)."""
+
+    kernel: str
+
+
+@dataclass(frozen=True)
+class MixJob:
+    """One concurrent mix under one scheme."""
+
+    kernels: Tuple[str, ...]
+    scheme: str = "ws"
+    cycles: Optional[int] = None
+
+
+Job = Union[IsoJob, CurveJob, MixJob]
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Worker-pool shape for one batch of jobs.
+
+    ``workers=None`` resolves from ``$REPRO_BENCH_WORKERS`` or the CPU
+    count; ``workers<=1`` runs the batch serially in-process.
+    ``chunksize`` batches job dispatch to cut IPC overhead for large
+    campaigns of cheap jobs.
+    """
+
+    workers: Optional[int] = None
+    chunksize: int = 1
+
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return max(1, self.workers)
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                pass
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# worker-side execution
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _init_worker(config, settings: RunnerSettings, cache_dir: Optional[str],
+                 iso_seed: Sequence[Tuple[Optional[int], IsoRecord]],
+                 curve_seed: Sequence[ScalabilityCurve]) -> None:
+    """Build this worker's private runner, pre-seeded with everything
+    the parent already knows so shared inputs are never recomputed."""
+    global _WORKER_RUNNER
+    runner = ExperimentRunner(config, settings, cache_dir=cache_dir)
+    for cycles, record in iso_seed:
+        _install_iso(runner, record, cycles)
+    for curve in curve_seed:
+        _install_curve(runner, curve)
+    _WORKER_RUNNER = runner
+
+
+def _run_job_in_worker(job: Job):
+    return execute_job(_WORKER_RUNNER, job)
+
+
+def execute_job(runner: ExperimentRunner, job: Job):
+    """Run one job on ``runner`` (shared by workers and serial mode)."""
+    if isinstance(job, IsoJob):
+        return runner.isolated(get_profile(job.kernel), job.tbs, job.cycles)
+    if isinstance(job, CurveJob):
+        return runner.curve(get_profile(job.kernel))
+    if isinstance(job, MixJob):
+        mix = WorkloadMix(tuple(get_profile(k) for k in job.kernels))
+        return runner.run_mix(mix, job.scheme, cycles=job.cycles)
+    raise TypeError(f"unknown job type {type(job).__name__}")
+
+
+# ----------------------------------------------------------------------
+# parent-side cache installation
+def _install_iso(runner: ExperimentRunner, record: IsoRecord,
+                 cycles: Optional[int]) -> None:
+    # ``isolated()`` resolves a default (None) TB count before its
+    # cache lookup, so keying by the record's resolved count serves
+    # both explicit and default-TB requests.
+    cycles = cycles or runner.settings.iso_cycles
+    runner._iso_cache[runner._iso_key(record.name, record.tbs, cycles)] \
+        = record
+
+
+def _install_curve(runner: ExperimentRunner, curve: ScalabilityCurve) -> None:
+    key = (runner._cfg_key, curve.kernel, runner.settings.curve_cycles,
+           runner.settings.seed, _cache_version())
+    runner._curve_cache[key] = curve
+
+
+def _cache_version() -> int:
+    from repro.harness.runner import CACHE_VERSION
+    return CACHE_VERSION
+
+
+def _absorb(runner: ExperimentRunner, job: Job, result) -> None:
+    """Install a worker's result into the parent runner's caches."""
+    if isinstance(job, IsoJob):
+        _install_iso(runner, result, job.cycles)
+    elif isinstance(job, CurveJob):
+        _install_curve(runner, result)
+
+
+def _seed_payload(runner: ExperimentRunner):
+    """Everything the parent's in-memory caches hold, as initargs.
+
+    ``_iso_key`` is ``(version, cfg, name, tbs, cycles, seed)`` — the
+    cycle budget rides along so the worker re-keys records exactly."""
+    iso_seed = [(key[4], record)
+                for key, record in runner._iso_cache.items()]
+    curve_seed = list(runner._curve_cache.values())
+    return iso_seed, curve_seed
+
+
+# ----------------------------------------------------------------------
+# batch execution
+def run_jobs(runner: ExperimentRunner, jobs: Sequence[Job],
+             workers: Optional[int] = None, chunksize: int = 1) -> List:
+    """Execute ``jobs`` and return their results in input order.
+
+    Identical jobs are executed once.  ``IsoJob`` / ``CurveJob``
+    results are installed into ``runner``'s in-memory caches (and, via
+    the workers, the shared disk cache), so subsequent serial calls hit
+    the cache.  Falls back to an in-process serial loop when the pool
+    is unavailable or ``workers`` resolves to 1.
+    """
+    pool_cfg = PoolConfig(workers=workers, chunksize=chunksize)
+    unique: List[Job] = list(dict.fromkeys(jobs))
+    if not unique:
+        return []
+    nworkers = min(pool_cfg.resolved_workers(), len(unique))
+    results: Dict[Job, object] = {}
+    if nworkers > 1:
+        try:
+            iso_seed, curve_seed = _seed_payload(runner)
+            with ProcessPoolExecutor(
+                    max_workers=nworkers,
+                    initializer=_init_worker,
+                    initargs=(runner.config, runner.settings,
+                              runner.cache_dir, iso_seed, curve_seed),
+            ) as pool:
+                for job, result in zip(
+                        unique,
+                        pool.map(_run_job_in_worker, unique,
+                                 chunksize=max(1, pool_cfg.chunksize))):
+                    results[job] = result
+        except (OSError, ValueError, RuntimeError, ImportError):
+            # No usable multiprocessing here (restricted sandbox, dead
+            # workers, ...): degrade to the serial path below.
+            results.clear()
+    if not results:
+        for job in unique:
+            results[job] = execute_job(runner, job)
+    for job in unique:
+        _absorb(runner, job, results[job])
+    return [results[job] for job in jobs]
+
+
+def campaign_jobs(mixes: Sequence[WorkloadMix], schemes: Sequence[str],
+                  cycles: Optional[int] = None) -> List[MixJob]:
+    """The mix-major grid of cells for a mixes×schemes campaign."""
+    return [MixJob(tuple(p.name for p in mix.profiles), scheme, cycles)
+            for mix in mixes for scheme in schemes]
+
+
+def prefetch_jobs(mixes: Sequence[WorkloadMix],
+                  schemes: Sequence[str]) -> List[Job]:
+    """Shared inputs of a campaign: every kernel's isolated run (for
+    normalisation) and — when any scheme partitions via Warped-Slicer —
+    every kernel's scalability curve."""
+    kernels = list(dict.fromkeys(
+        p.name for mix in mixes for p in mix.profiles))
+    jobs: List[Job] = [IsoJob(k) for k in kernels]
+    if any(s.lower().startswith(("ws", "dws")) for s in schemes):
+        jobs += [CurveJob(k) for k in kernels]
+    return jobs
+
+
+def run_campaign(runner: ExperimentRunner, mixes: Sequence[WorkloadMix],
+                 schemes: Sequence[str], workers: Optional[int] = None,
+                 cycles: Optional[int] = None,
+                 chunksize: int = 1) -> List[WorkloadOutcome]:
+    """Run the full mixes×schemes grid, in parallel, in two phases.
+
+    Phase 1 computes the shared inputs (isolated runs, curves) once and
+    installs them everywhere; phase 2 fans the grid cells out, each
+    worker pre-seeded with phase 1's results.  Outcomes come back in
+    mix-major grid order, bit-identical to the serial loop.
+    """
+    run_jobs(runner, prefetch_jobs(mixes, schemes), workers=workers,
+             chunksize=chunksize)
+    return run_jobs(runner, campaign_jobs(mixes, schemes, cycles),
+                    workers=workers, chunksize=chunksize)

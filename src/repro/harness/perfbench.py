@@ -1,0 +1,306 @@
+"""Wall-clock performance benchmarks for the simulator's fast paths.
+
+Two benchmarks validate the perf work in this repo, each emitting a
+JSON report at the repository root:
+
+* :func:`bench_cycle_loop` (``BENCH_cycle_loop.json``) measures
+  simulated-cycles-per-second of the optimised cycle loop against the
+  reference loop (``GPU(reference=True)``) on the paper's Table-1
+  machine (the default :class:`~repro.config.GPUConfig`, 16 SMs), one
+  workload at a time, single thread.  Every rep asserts the two loops
+  produce bit-identical :class:`~repro.sim.stats.RunResult` stats.
+
+* :func:`bench_campaign` (``BENCH_campaign.json``) times a full
+  experiment campaign — the paper's scheme-ablation grid (WS, WS+BMI,
+  WS+MIL, WS+BMI+MIL over two mixes, §4) including Warped-Slicer
+  profiling curves — three ways: reference loop serially, fast loop
+  serially, and fast loop through the parallel executor
+  (:mod:`repro.harness.parallel`).  All three legs must agree on every
+  outcome, bit for bit.
+
+Timing methodology: legs alternate (reference first) and reps take the
+best (minimum) wall time, the standard way to suppress scheduler noise
+on a shared machine.  ``cpu_count`` is recorded in both reports so a
+reader can judge how much the parallel leg could possibly help.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.core.arbiter import SchemeConfig
+from repro.harness.runner import (ExperimentRunner, RunnerSettings,
+                                  WorkloadOutcome)
+from repro.sim.engine import GPU, make_launches
+from repro.sim.stats import RunResult
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.profiles import get_profile
+
+#: file names (written at the repo root by default).
+CYCLE_LOOP_REPORT = "BENCH_cycle_loop.json"
+CAMPAIGN_REPORT = "BENCH_campaign.json"
+
+#: the campaign the wall-clock benchmark times: the paper's §4
+#: mechanism ablation (WS alone, +BMI, +MIL, +both) over one
+#: memory/memory and one mixed-intensity two-kernel workload.
+CAMPAIGN_MIXES: Tuple[Tuple[str, ...], ...] = (("bp", "cd"), ("st", "sv"))
+CAMPAIGN_SCHEMES: Tuple[str, ...] = ("ws", "ws-rbmi", "ws-dmil",
+                                     "ws-rbmi+dmil")
+CAMPAIGN_SETTINGS = dict(iso_cycles=4000, curve_cycles=2500,
+                         concurrent_cycles=6000)
+
+#: single-run workloads for the cycle-loop benchmark; the concurrent
+#: mix is *the* reference workload (a paper-machine CKE run).
+CYCLE_LOOP_WORKLOADS: Tuple[Tuple[str, Tuple[str, ...],
+                                  Optional[Tuple[int, ...]]], ...] = (
+    ("bp-iso", ("bp",), None),
+    ("cd-iso", ("cd",), None),
+    ("bp+cd-even", ("bp", "cd"), (8, 8)),
+)
+REFERENCE_WORKLOAD = "bp+cd-even"
+
+
+# ----------------------------------------------------------------------
+# bit-identity signatures
+def result_signature(result: RunResult) -> Tuple:
+    """Every stat a RunResult carries, as a comparable tuple."""
+    return (
+        result.cycles,
+        tuple(result.kernel_names),
+        tuple(sorted(
+            (slot, k.warp_insts, k.alu_insts, k.sfu_insts, k.mem_insts,
+             k.mem_requests, k.tbs_launched, k.tbs_completed)
+            for slot, k in result.kernels.items())),
+        tuple(sorted(result.l1d_accesses.items())),
+        tuple(sorted(result.l1d_hits.items())),
+        tuple(sorted(result.l1d_misses.items())),
+        tuple(sorted(result.l1d_rsfails.items())),
+        result.lsu_stall_cycles,
+        result.lsu_busy_cycles,
+        result.alu_busy,
+        result.sfu_busy,
+        result.dram_row_hit_rate,
+        result.l2_accesses,
+        result.l2_misses,
+        result.dram_accesses,
+        result.icnt_flits,
+    )
+
+
+def outcome_signature(outcome: WorkloadOutcome) -> Tuple:
+    """A campaign cell's full identity: metrics + run stats.
+
+    Floats are compared exactly — the fast paths must be bit-identical
+    to the reference loop, not merely close."""
+    return (
+        outcome.mix_name,
+        outcome.mix_class,
+        outcome.scheme,
+        tuple(outcome.partition),
+        tuple(outcome.iso_ipcs),
+        tuple(outcome.shared_ipcs),
+        tuple(outcome.norm_ipcs),
+        outcome.weighted_speedup,
+        outcome.antt,
+        outcome.fairness,
+        result_signature(outcome.result),
+    )
+
+
+# ----------------------------------------------------------------------
+# cycle-loop benchmark
+def _build_gpu(kernels: Sequence[str], tb_limits, config: GPUConfig,
+               reference: bool, seed: int = 0) -> GPU:
+    profiles = [get_profile(k) for k in kernels]
+    if tb_limits is None:
+        tb_limits = [p.max_tbs_per_sm(config) for p in profiles]
+    launches = make_launches(profiles, list(tb_limits), config, seed=seed)
+    return GPU(config, launches, SchemeConfig(), reference=reference)
+
+
+def _time_run(kernels: Sequence[str], tb_limits, config: GPUConfig,
+              cycles: int, reference: bool) -> Tuple[float, Tuple]:
+    gpu = _build_gpu(kernels, tb_limits, config, reference)
+    t0 = time.perf_counter()
+    result = gpu.run(cycles)
+    dt = time.perf_counter() - t0
+    return dt, result_signature(result)
+
+
+def bench_cycle_loop(cycles: int = 2500, reps: int = 2,
+                     config: Optional[GPUConfig] = None,
+                     out_path: Optional[str] = None) -> Dict:
+    """Fast-loop vs reference-loop cycles/sec, workload by workload.
+
+    Raises ``AssertionError`` if any workload's fast run is not
+    bit-identical to its reference run.
+    """
+    config = config or GPUConfig()
+    workloads = []
+    for name, kernels, tb_limits in CYCLE_LOOP_WORKLOADS:
+        ref_best = fast_best = float("inf")
+        ref_sig = fast_sig = None
+        for _ in range(max(1, reps)):
+            dt, sig = _time_run(kernels, tb_limits, config, cycles,
+                                reference=True)
+            ref_best = min(ref_best, dt)
+            assert ref_sig is None or sig == ref_sig, \
+                f"{name}: reference loop is not deterministic"
+            ref_sig = sig
+            dt, sig = _time_run(kernels, tb_limits, config, cycles,
+                                reference=False)
+            fast_best = min(fast_best, dt)
+            fast_sig = sig
+            assert fast_sig == ref_sig, \
+                f"{name}: fast loop diverged from the reference loop"
+        workloads.append({
+            "workload": name,
+            "kernels": list(kernels),
+            "tb_limits": list(tb_limits) if tb_limits else None,
+            "cycles": cycles,
+            "reference_s": ref_best,
+            "fast_s": fast_best,
+            "reference_cycles_per_s": cycles / ref_best,
+            "fast_cycles_per_s": cycles / fast_best,
+            "speedup": ref_best / fast_best,
+            "identical": True,
+        })
+    speedups = [w["speedup"] for w in workloads]
+    reference = next(w for w in workloads
+                     if w["workload"] == REFERENCE_WORKLOAD)
+    report = {
+        "benchmark": "cycle_loop",
+        "config": "paper-table1-default",
+        "num_sms": config.num_sms,
+        "cpu_count": os.cpu_count(),
+        "reps": reps,
+        "workloads": workloads,
+        "reference_workload": REFERENCE_WORKLOAD,
+        "reference_workload_speedup": reference["speedup"],
+        "min_speedup": min(speedups),
+        "geomean_speedup": _geomean(speedups),
+    }
+    _write_report(report, out_path or _root_path(CYCLE_LOOP_REPORT))
+    return report
+
+
+# ----------------------------------------------------------------------
+# campaign benchmark
+def _campaign_runner(cache_dir: str,
+                     config: Optional[GPUConfig] = None) -> ExperimentRunner:
+    return ExperimentRunner(config or GPUConfig(),
+                            RunnerSettings(**CAMPAIGN_SETTINGS),
+                            cache_dir=cache_dir)
+
+
+def _campaign_mixes() -> List[WorkloadMix]:
+    return [WorkloadMix(tuple(get_profile(k) for k in kernels))
+            for kernels in CAMPAIGN_MIXES]
+
+
+def _run_campaign_leg(reference: bool, workers: int,
+                      config: Optional[GPUConfig] = None
+                      ) -> Tuple[float, List[Tuple]]:
+    """One timed pass over the whole campaign grid with a fresh disk
+    cache (every leg recomputes everything from scratch)."""
+    prior = os.environ.get("REPRO_REFERENCE_LOOP")
+    if reference:
+        os.environ["REPRO_REFERENCE_LOOP"] = "1"
+    else:
+        os.environ.pop("REPRO_REFERENCE_LOOP", None)
+    try:
+        mixes = _campaign_mixes()
+        with tempfile.TemporaryDirectory() as cache_dir:
+            runner = _campaign_runner(cache_dir, config)
+            t0 = time.perf_counter()
+            if workers > 1:
+                outcomes = runner.run_campaign(mixes, list(CAMPAIGN_SCHEMES),
+                                               workers=workers)
+            else:
+                outcomes = [runner.run_mix(mix, scheme)
+                            for mix in mixes for scheme in CAMPAIGN_SCHEMES]
+            dt = time.perf_counter() - t0
+        return dt, [outcome_signature(o) for o in outcomes]
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_REFERENCE_LOOP", None)
+        else:
+            os.environ["REPRO_REFERENCE_LOOP"] = prior
+
+
+def bench_campaign(workers: int = 4,
+                   config: Optional[GPUConfig] = None,
+                   out_path: Optional[str] = None) -> Dict:
+    """Reference-serial vs fast-serial vs fast-parallel campaign.
+
+    The headline ``campaign_speedup`` compares the end-to-end stack —
+    fast loops *and* the ``workers``-process executor — against the
+    reference loop run serially; ``fast_loop_speedup`` and
+    ``parallel_speedup`` attribute it to the two layers.  On a
+    single-core host (see ``cpu_count``) the parallel layer cannot
+    contribute, so the headline degrades to roughly the fast-loop
+    speedup minus pool overhead.
+
+    Raises ``AssertionError`` if any leg disagrees on any outcome.
+    """
+    ref_s, ref_sigs = _run_campaign_leg(reference=True, workers=1,
+                                        config=config)
+    fast_s, fast_sigs = _run_campaign_leg(reference=False, workers=1,
+                                          config=config)
+    par_s, par_sigs = _run_campaign_leg(reference=False, workers=workers,
+                                        config=config)
+    assert fast_sigs == ref_sigs, \
+        "fast-serial campaign diverged from reference-serial"
+    assert par_sigs == ref_sigs, \
+        "parallel campaign diverged from reference-serial"
+    cells = len(ref_sigs)
+    report = {
+        "benchmark": "campaign",
+        "config": "paper-table1-default",
+        "mixes": [list(m) for m in CAMPAIGN_MIXES],
+        "schemes": list(CAMPAIGN_SCHEMES),
+        "settings": dict(CAMPAIGN_SETTINGS),
+        "cells": cells,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "reference_serial_s": ref_s,
+        "fast_serial_s": fast_s,
+        "fast_parallel_s": par_s,
+        "fast_loop_speedup": ref_s / fast_s,
+        "parallel_speedup": fast_s / par_s,
+        "campaign_speedup": ref_s / par_s,
+        "identical": True,
+    }
+    _write_report(report, out_path or _root_path(CAMPAIGN_REPORT))
+    return report
+
+
+# ----------------------------------------------------------------------
+# report plumbing
+def _geomean(values: Sequence[float]) -> float:
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values))
+
+
+def _root_path(filename: str) -> str:
+    """Repo root when running from a checkout; CWD otherwise."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.normpath(os.path.join(here, "..", "..", ".."))
+    if os.path.isdir(os.path.join(root, "src")):
+        return os.path.join(root, filename)
+    return os.path.join(os.getcwd(), filename)
+
+
+def _write_report(report: Dict, path: str) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)

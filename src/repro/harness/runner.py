@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.config import GPUConfig, scaled_config
 from repro.core.arbiter import SchemeConfig
 from repro.cke.leftover import leftover_partition
-from repro.cke.partition import TBPartition, even_partition
+from repro.cke.partition import even_partition
 from repro.cke.smk import drf_partition, smk_quotas
 from repro.cke.spatial import spatial_masks, spatial_tb_limits
 from repro.cke.dynamic_ws import DynamicWarpedSlicer
@@ -107,6 +107,33 @@ def _config_key(config: GPUConfig) -> str:
     return hashlib.md5(blob.encode()).hexdigest()[:16]
 
 
+def _atomic_write_json(path: str, payload) -> None:
+    """Write ``payload`` so concurrent readers (and writers) never see
+    a partial record: dump to a same-directory temp file, then
+    ``os.replace`` it into place (atomic on POSIX)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError:
+        # The cache is an optimisation, never a correctness dependency.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _read_json_record(path: str):
+    """Load a cache record, treating unreadable/corrupt files (e.g. a
+    half-written record from a crashed run) as a cache miss."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
 class ExperimentRunner:
     """Shared state (config + caches) for a set of experiments."""
 
@@ -147,10 +174,15 @@ class ExperimentRunner:
             return self._iso_cache[key]
         path = self._disk_path(key)
         if path and os.path.exists(path):
-            with open(path) as fh:
-                record = IsoRecord(**json.load(fh))
-            self._iso_cache[key] = record
-            return record
+            payload = _read_json_record(path)
+            if payload is not None:
+                try:
+                    record = IsoRecord(**payload)
+                except TypeError:
+                    record = None  # stale/foreign schema: recompute
+                if record is not None:
+                    self._iso_cache[key] = record
+                    return record
         result = self._run_isolated(profile, tbs, cycles)
         record = IsoRecord(
             name=profile.name, tbs=tbs, ipc=result.ipc(0),
@@ -163,8 +195,7 @@ class ExperimentRunner:
         )
         self._iso_cache[key] = record
         if path:
-            with open(path, "w") as fh:
-                json.dump(asdict(record), fh)
+            _atomic_write_json(path, asdict(record))
         return record
 
     def _run_isolated(self, profile: KernelProfile, tbs: int,
@@ -200,6 +231,26 @@ class ExperimentRunner:
         curve = ScalabilityCurve(profile.name, tuple(points))
         self._curve_cache[key] = curve
         return curve
+
+    # ------------------------------------------------------------------
+    # parallel campaigns (see repro.harness.parallel)
+    def prefetch(self, jobs, workers: Optional[int] = None) -> None:
+        """Execute a batch of jobs (``IsoJob``/``CurveJob``/``MixJob``)
+        in parallel and install the cacheable results, so subsequent
+        serial calls are cache hits."""
+        from repro.harness.parallel import run_jobs
+        run_jobs(self, jobs, workers=workers)
+
+    def run_campaign(self, mixes: Sequence[WorkloadMix],
+                     schemes: Sequence[str],
+                     workers: Optional[int] = None,
+                     cycles: Optional[int] = None) -> List[WorkloadOutcome]:
+        """Run every mix under every scheme, fanned over worker
+        processes; outcomes in mix-major grid order, bit-identical to
+        the serial loop."""
+        from repro.harness.parallel import run_campaign
+        return run_campaign(self, mixes, schemes, workers=workers,
+                            cycles=cycles)
 
     # ------------------------------------------------------------------
     # scheme resolution

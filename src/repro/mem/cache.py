@@ -78,6 +78,7 @@ class SetAssocCache:
         self.config = config
         self.num_sets = config.num_sets
         self.assoc = config.assoc
+        self._xor = config.xor_index
         self._sets: List[List[_Line]] = [
             [_Line() for _ in range(self.assoc)] for _ in range(self.num_sets)
         ]
@@ -86,10 +87,10 @@ class SetAssocCache:
         self.partition: Optional[Dict[int, int]] = None
 
     def set_index(self, line_addr: int) -> int:
-        if self.config.xor_index:
-            sets = self.num_sets
+        sets = self.num_sets
+        if self._xor:
             return (line_addr ^ (line_addr // sets)) % sets
-        return line_addr % self.num_sets
+        return line_addr % sets
 
     def _touch(self, line: _Line) -> None:
         self._use_clock += 1
@@ -97,18 +98,30 @@ class SetAssocCache:
 
     def probe(self, line_addr: int) -> Optional[_Line]:
         """Find the line without updating LRU state."""
-        target_set = self._sets[self.set_index(line_addr)]
-        for line in target_set:
+        sets = self.num_sets
+        if self._xor:
+            idx = (line_addr ^ (line_addr // sets)) % sets
+        else:
+            idx = line_addr % sets
+        for line in self._sets[idx]:
             if line.tag == line_addr and (line.valid or line.reserved):
                 return line
         return None
 
     def lookup(self, line_addr: int) -> Optional[_Line]:
         """Find the line and mark it most-recently-used if valid."""
-        line = self.probe(line_addr)
-        if line is not None and line.valid:
-            self._touch(line)
-        return line
+        sets = self.num_sets
+        if self._xor:
+            idx = (line_addr ^ (line_addr // sets)) % sets
+        else:
+            idx = line_addr % sets
+        for line in self._sets[idx]:
+            if line.tag == line_addr and (line.valid or line.reserved):
+                if line.valid:
+                    self._use_clock += 1
+                    line.last_use = self._use_clock
+                return line
+        return None
 
     def _candidate_victims(self, target_set: List[_Line], kernel: int) -> List[_Line]:
         free = [ln for ln in target_set if not ln.valid and not ln.reserved]
@@ -145,10 +158,31 @@ class SetAssocCache:
         no evictable slot exists (a line reservation failure).
         """
         target_set = self._sets[self.set_index(line_addr)]
-        victims = self._candidate_victims(target_set, kernel)
-        if not victims:
-            return False, False, -1
-        victim = min(victims, key=lambda ln: ln.last_use)
+        if self.partition is None:
+            # Fused victim scan (the common, unpartitioned case): the
+            # LRU free slot if any, else the LRU unreserved line.  The
+            # strict ``<`` keeps first-wins tie-breaking, matching
+            # ``min`` over the candidate list.
+            victim = None
+            best_free = None
+            best_any = None
+            for ln in target_set:
+                if ln.reserved:
+                    continue
+                lu = ln.last_use
+                if not ln.valid and (best_free is None
+                                     or lu < best_free.last_use):
+                    best_free = ln
+                if best_any is None or lu < best_any.last_use:
+                    best_any = ln
+            victim = best_free if best_free is not None else best_any
+            if victim is None:
+                return False, False, -1
+        else:
+            victims = self._candidate_victims(target_set, kernel)
+            if not victims:
+                return False, False, -1
+            victim = min(victims, key=lambda ln: ln.last_use)
         evicted_dirty = victim.valid and victim.dirty
         evicted_tag = victim.tag
         victim.tag = line_addr

@@ -81,6 +81,8 @@ class DRAMModel:
             DRAMChannel(config, queue_capacity) for _ in range(config.dram_channels)
         ]
         self.dropped_writes = 0
+        #: total queued requests across channels (idle fast-path check).
+        self.queued = 0
 
     def channel_for(self, line_addr: int) -> DRAMChannel:
         # Interleave channels at DRAM-row granularity so sequential
@@ -95,6 +97,7 @@ class DRAMModel:
 
     def enqueue_read(self, line_addr: int, payload: object) -> None:
         self.channel_for(line_addr).enqueue(self.row_of(line_addr), False, payload)
+        self.queued += 1
 
     def enqueue_write(self, line_addr: int) -> bool:
         """Best-effort write (write-through / writeback traffic).  A
@@ -105,11 +108,19 @@ class DRAMModel:
             self.dropped_writes += 1
             return False
         channel.enqueue(self.row_of(line_addr), True, None)
+        self.queued += 1
         return True
 
     def tick(self, cycle: int, on_read_done: Callable[[object, int], None]) -> None:
+        if not self.queued:
+            return
         for channel in self.channels:
+            queue = channel.queue
+            if not queue:
+                continue
+            before = len(queue)
             channel.tick(cycle, on_read_done)
+            self.queued -= before - len(queue)
 
     def total_serviced(self) -> int:
         return sum(c.serviced for c in self.channels)

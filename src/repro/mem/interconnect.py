@@ -35,9 +35,19 @@ class Interconnect:
     def line_flits(config: GPUConfig) -> int:
         return max(1, config.l1d.line_size // FLIT_BYTES)
 
-    def begin_cycle(self) -> None:
-        self._req_tokens = min(self._req_tokens + self.rate, self.burst_cap)
-        self._rsp_tokens = min(self._rsp_tokens + self.rate, self.burst_cap)
+    def begin_cycle(self, cycles: int = 1) -> None:
+        """Refill both token buckets for ``cycles`` elapsed cycles.
+
+        Refill is linear and capped, so one call with ``cycles=k`` is
+        exactly equivalent to ``k`` single-cycle calls — the memory
+        subsystem uses this to catch up after idle-skipped cycles.
+        """
+        rate = self.rate * cycles
+        cap = self.burst_cap
+        req = self._req_tokens + rate
+        rsp = self._rsp_tokens + rate
+        self._req_tokens = cap if req > cap else req
+        self._rsp_tokens = cap if rsp > cap else rsp
 
     def try_send_request(self, flits: int) -> bool:
         if self._req_tokens < flits:

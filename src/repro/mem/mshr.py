@@ -57,15 +57,17 @@ class MSHRFile:
 
     def allocate(self, line_addr: int, kernel: int, waiter: object) -> MSHREntry:
         """Allocate an entry for a primary miss."""
-        if line_addr in self._entries:
+        entries = self._entries
+        if line_addr in entries:
             raise RuntimeError(f"MSHR for line {line_addr:#x} already allocated")
-        if self.full:
+        used = len(entries)
+        if used >= self.capacity:
             raise RuntimeError("MSHR file full")
         entry = MSHREntry(line_addr, kernel)
         entry.waiters.append(waiter)
-        self._entries[line_addr] = entry
-        if len(self._entries) > self.peak_used:
-            self.peak_used = len(self._entries)
+        entries[line_addr] = entry
+        if used >= self.peak_used:
+            self.peak_used = used + 1
         return entry
 
     def merge(self, line_addr: int, waiter: object) -> MSHREntry:

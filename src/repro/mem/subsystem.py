@@ -19,9 +19,8 @@ studied mechanism (see DESIGN.md).
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Tuple
 
 from repro.config import GPUConfig
 from repro.mem.cache import AccessResult, CacheStats, L1DCache, SetAssocCache
@@ -62,7 +61,7 @@ class MemRequest:
 class MemorySubsystem:
     """Shared backend for all SMs: interconnect + L2 + DRAM."""
 
-    def __init__(self, config: GPUConfig):
+    def __init__(self, config: GPUConfig, fastpath: bool = True):
         self.config = config
         self.l1s: List[L1DCache] = [L1DCache(config.l1d) for _ in range(config.num_sms)]
         self.icnt = Interconnect(config)
@@ -72,44 +71,132 @@ class MemorySubsystem:
         self.l2_in: Deque[MemRequest] = deque()
         self.dram = DRAMModel(config)
         self._line_flits = Interconnect.line_flits(config)
-        self._events: List[Tuple[int, int, str, object]] = []
-        self._seq = itertools.count()
+        self._l2_hit_latency = config.l2.hit_latency
+        self._icnt_latency = config.icnt_latency
+        # Pending events, bucketed by cycle: a dict of per-cycle lists
+        # plus a min-heap of bucket cycles.  Events at the same cycle
+        # run in insertion order, exactly like the classic
+        # (cycle, seq) heap but with one heap op per *cycle* instead of
+        # one per event.
+        self._events: Dict[int, List[Tuple[str, object]]] = {}
+        self._event_heap: List[int] = []
         self._rsp_queue: Deque[MemRequest] = deque()
         self._inflight_to_l2 = 0
         self._drain_rr = 0
         self.l2_head_stall_cycles = 0
+        #: enable the idle fast path (False = reference loop).
+        self.fastpath = fastpath
+        self._miss_queues = [l1.miss_queue for l1 in self.l1s]
+        #: idle cycles whose token refills are still owed to the icnt.
+        self._skipped_refills = 0
+        #: count of idle-skipped backend cycles (perf introspection).
+        self.idle_cycles = 0
 
     # ------------------------------------------------------------------
     # event plumbing
     def _schedule(self, cycle: int, kind: str, payload: object) -> None:
-        heapq.heappush(self._events, (cycle, next(self._seq), kind, payload))
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [(kind, payload)]
+            heapq.heappush(self._event_heap, cycle)
+        else:
+            bucket.append((kind, payload))
 
     def _l2_in_has_credit(self) -> bool:
         return len(self.l2_in) + self._inflight_to_l2 < L2_IN_CAPACITY
 
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
-        """Advance the backend by one core cycle."""
-        self.icnt.begin_cycle()
-        self._process_events(cycle)
-        self.dram.tick(cycle, self._on_dram_read_done)
-        self._l2_process(cycle)
-        self._send_responses(cycle)
+        """Advance the backend by one core cycle.
+
+        The fast path guards every phase with its queue state and skips
+        quiet cycles entirely — including *latency-shadow* cycles where
+        events exist but none is due yet.  A skipped cycle's only
+        observable work would have been the interconnect token refill
+        (batched into the next active cycle via an exactly-equivalent
+        catch-up call) and the drain round-robin pointer (advanced in
+        place).  The reference path runs every phase unconditionally.
+        """
+        if not self.fastpath:
+            self.icnt.begin_cycle()
+            self._process_events(cycle)
+            self.dram.tick(cycle, self._on_dram_read_done)
+            self._l2_process(cycle)
+            self._send_responses(cycle)
+            self._drain_l1_miss_queues(cycle)
+            return False
+        heap = self._event_heap
+        events_due = bool(heap) and heap[0] <= cycle
+        if (not events_due and not self.l2_in and not self._rsp_queue
+                and not self.dram.queued):
+            for queue in self._miss_queues:
+                if queue:
+                    break
+            else:
+                self._skipped_refills += 1
+                self.idle_cycles += 1
+                self._drain_rr = (self._drain_rr + 1) % len(self.l1s)
+                # Tell the engine this cycle was inert: if the SMs are
+                # all asleep too it may leap over the latency shadow.
+                return True
+        self.icnt.begin_cycle(1 + self._skipped_refills)
+        self._skipped_refills = 0
+        if events_due:
+            self._process_events(cycle)
+        if self.dram.queued:
+            self.dram.tick(cycle, self._on_dram_read_done)
+        if self.l2_in:
+            self._l2_process(cycle)
+        if self._rsp_queue:
+            self._send_responses(cycle)
         self._drain_l1_miss_queues(cycle)
+        return False
+
+    def next_activity(self, cycle: int) -> int:
+        """Earliest future cycle at which the backend can make progress,
+        assuming no new requests arrive.  ``cycle + 1`` when queued work
+        is retrying (bandwidth/credit stalls); otherwise the earliest of
+        the next due event and the first DRAM channel service-completion
+        (post-tick, every non-empty channel is busy past ``cycle``).
+        Cycles strictly before the returned one are provably no-ops for
+        the backend, which is what lets the engine leap over them."""
+        if self.l2_in or self._rsp_queue:
+            return cycle + 1
+        for queue in self._miss_queues:
+            if queue:
+                return cycle + 1
+        heap = self._event_heap
+        nxt = heap[0] if heap else (1 << 62)
+        if self.dram.queued:
+            for channel in self.dram.channels:
+                if channel.queue and channel.busy_until < nxt:
+                    nxt = channel.busy_until
+        return nxt
+
+    def skip_cycles(self, count: int) -> None:
+        """Account for ``count`` cycles the engine leapt over while the
+        backend was provably inert (no queued work anywhere and no event
+        due).  Equivalent to ``count`` idle ticks: the owed interconnect
+        refills batch up and the drain round-robin pointer advances."""
+        self._skipped_refills += count
+        self.idle_cycles += count
+        self._drain_rr = (self._drain_rr + count) % len(self.l1s)
 
     def _process_events(self, cycle: int) -> None:
-        events = self._events
-        while events and events[0][0] <= cycle:
-            _, _, kind, payload = heapq.heappop(events)
-            if kind == "l2_arrive":
-                self._inflight_to_l2 -= 1
-                self.l2_in.append(payload)  # credit reserved at send time
-            elif kind == "rsp_ready":
-                self._rsp_queue.append(payload)
-            elif kind == "l1_fill":
-                self._deliver_fill(payload, cycle)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {kind!r}")
+        heap = self._event_heap
+        buckets = self._events
+        while heap and heap[0] <= cycle:
+            due = heapq.heappop(heap)
+            for kind, payload in buckets.pop(due):
+                if kind == "l2_arrive":
+                    self._inflight_to_l2 -= 1
+                    self.l2_in.append(payload)  # credit reserved at send
+                elif kind == "rsp_ready":
+                    self._rsp_queue.append(payload)
+                elif kind == "l1_fill":
+                    self._deliver_fill(payload, cycle)
+                else:  # pragma: no cover - defensive
+                    raise RuntimeError(f"unknown event kind {kind!r}")
 
     def _on_dram_read_done(self, line_addr, done_cycle: int) -> None:
         self._schedule(done_cycle, "rsp_ready", ("dram_fill", line_addr))
@@ -148,7 +235,7 @@ class MemorySubsystem:
             self.l2_tags.lookup(line_addr)  # LRU update
             stats.accesses[kernel] += 1
             stats.hits[kernel] += 1
-            self._schedule(cycle + self.config.l2.hit_latency, "rsp_ready", request)
+            self._schedule(cycle + self._l2_hit_latency, "rsp_ready", request)
             return True
         if line is not None and line.reserved:
             if not self.l2_mshrs.can_merge(line_addr):
@@ -202,7 +289,7 @@ class MemorySubsystem:
             if not self.icnt.try_send_response(self._line_flits):
                 return
             rsp.popleft()
-            self._schedule(cycle + self.config.icnt_latency, "l1_fill", head)
+            self._schedule(cycle + self._icnt_latency, "l1_fill", head)
 
     def _deliver_fill(self, request: MemRequest, cycle: int) -> None:
         if request.bypass:
@@ -221,21 +308,22 @@ class MemorySubsystem:
     def _drain_l1_miss_queues(self, cycle: int) -> None:
         num = len(self.l1s)
         start = self._drain_rr
-        self._drain_rr = (self._drain_rr + 1) % num
+        self._drain_rr = (start + 1) % num
+        l1s = self.l1s
+        icnt = self.icnt
         for offset in range(num):
-            l1 = self.l1s[(start + offset) % num]
-            queue = l1.miss_queue
+            queue = l1s[(start + offset) % num].miss_queue
             if not queue:
                 continue
             request = queue[0]
             flits = self._line_flits if request.is_write else 1
-            if not self._l2_in_has_credit():
+            if len(self.l2_in) + self._inflight_to_l2 >= L2_IN_CAPACITY:
                 return
-            if not self.icnt.try_send_request(flits):
+            if not icnt.try_send_request(flits):
                 return
             queue.popleft()
             self._inflight_to_l2 += 1
-            self._schedule(cycle + self.config.icnt_latency, "l2_arrive", request)
+            self._schedule(cycle + self._icnt_latency, "l2_arrive", request)
 
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

@@ -10,6 +10,7 @@ cycles"), and per-kernel IPC is measured over the whole window.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.config import GPUConfig
@@ -76,17 +77,28 @@ def make_launches(
 
 
 class GPU:
-    """A configured GPU ready to simulate one measurement window."""
+    """A configured GPU ready to simulate one measurement window.
+
+    ``reference=True`` (or the ``REPRO_REFERENCE_LOOP=1`` environment
+    variable) disables the cycle-loop fast paths — scheduler sleep
+    hints and the memory-subsystem idle skip — forcing the reference
+    per-cycle scan everywhere.  Both modes produce bit-identical
+    results; the perf suite asserts this on every run.
+    """
 
     def __init__(self, config: GPUConfig, launches: List[KernelLaunch],
                  scheme: Optional[SchemeConfig] = None,
-                 timeline_interval: Optional[int] = None):
+                 timeline_interval: Optional[int] = None,
+                 reference: Optional[bool] = None):
         if not launches:
             raise ValueError("need at least one kernel launch")
+        if reference is None:
+            reference = os.environ.get("REPRO_REFERENCE_LOOP", "") == "1"
+        self.reference = reference
         self.config = config
         self.launches = launches
         self.scheme = scheme or SchemeConfig()
-        self.memory = MemorySubsystem(config)
+        self.memory = MemorySubsystem(config, fastpath=not reference)
         self.timeline = (TimelineRecorder(timeline_interval)
                          if timeline_interval else None)
         self.kernel_stats: Dict[int, KernelStats] = {
@@ -101,7 +113,7 @@ class GPU:
                                        sm_id=sm_id)
             self.sms.append(StreamingMultiprocessor(
                 sm_id, config, l1, launches, bundle,
-                self.kernel_stats, self.timeline))
+                self.kernel_stats, self.timeline, fastpath=not reference))
         self.cycles_run = 0
 
     def set_tb_limit(self, sm_id: int, slot: int, limit: int) -> None:
@@ -110,7 +122,11 @@ class GPU:
         naturally — no preemption)."""
         if limit < 0:
             raise ValueError("limit must be non-negative")
-        self.sms[sm_id].kstate[slot].tb_limit = limit
+        sm = self.sms[sm_id]
+        sm.kstate[slot].tb_limit = limit
+        # A raised cap can unblock TB launches on this SM.
+        sm._launch_blocked = False
+        sm._sleep_until = 0
 
     def snapshot_insts(self) -> Dict[int, int]:
         """Per-kernel instruction counters (for window measurements)."""
@@ -121,14 +137,55 @@ class GPU:
         """Simulate ``max_cycles`` core cycles and collect results."""
         if max_cycles < 1:
             raise ValueError("max_cycles must be positive")
-        memory = self.memory
-        sms = self.sms
+        # Bind the per-cycle callees to locals: the loop body is pure
+        # dispatch, so attribute lookups would be a measurable share.
+        memory_tick = self.memory.tick
+        sm_ticks = [sm.tick for sm in self.sms]
         start = self.cycles_run
-        for cycle in range(start, start + max_cycles):
-            memory.tick(cycle)
+        end = start + max_cycles
+        if self.reference:
+            for cycle in range(start, end):
+                memory_tick(cycle)
+                for sm_tick in sm_ticks:
+                    sm_tick(cycle)
+            self.cycles_run = end
+            return self._collect()
+        # Fast loop with a latency-shadow leap: when every SM is asleep
+        # past cycle+1, nothing can happen until the earliest of (SM
+        # wake, next backend activity) — jump there directly.  The
+        # backend accounts for the leapt cycles in one batch
+        # (skip_cycles, a provable no-op replay); each SM's tick
+        # catches up its rotation state from the cycle gap.  The wake
+        # scan early-exits on the first busy SM, so saturated phases
+        # pay almost nothing for the check.
+        sms = self.sms
+        next_activity = self.memory.next_activity
+        skip_cycles = self.memory.skip_cycles
+        never = 1 << 62
+        cycle = start
+        while cycle < end:
+            memory_tick(cycle)
+            for sm_tick in sm_ticks:
+                sm_tick(cycle)
+            nxt = cycle + 1
+            wake = never
             for sm in sms:
-                sm.tick(cycle)
-        self.cycles_run = start + max_cycles
+                su = sm._sleep_until
+                if su < wake:
+                    wake = su
+                    if wake <= nxt:
+                        break
+            if wake > nxt:
+                target = next_activity(cycle)
+                if wake < target:
+                    target = wake
+                if target > end:
+                    target = end
+                if target > nxt:
+                    skip_cycles(target - nxt)
+                    nxt = target
+            cycle = nxt
+        self.cycles_run = end
         return self._collect()
 
     def _collect(self) -> RunResult:

@@ -24,6 +24,8 @@ from repro.sim.warp import MemInst
 #: instructions the LSU queue can hold (issue stalls when full).
 LSU_QUEUE_DEPTH = 8
 
+_MISSES = (AccessResult.MISS, AccessResult.MISS_MERGED)
+
 
 class LoadStoreUnit:
     """Per-SM memory pipeline."""
@@ -40,6 +42,10 @@ class LoadStoreUnit:
         self._current_request: Optional[MemRequest] = None
         self.stall_cycles = 0
         self.busy_cycles = 0
+        #: kernel -> L1D-bypass verdict, filled in by the owning SM
+        #: (the scheme's bypass set is fixed for the whole run).  When
+        #: None, fall back to asking the SM's bundle per request.
+        self.bypass_by_kernel = None
 
     def can_accept(self) -> bool:
         return len(self.queue) < self.queue_depth
@@ -55,27 +61,39 @@ class LoadStoreUnit:
         A reservation failure stalls the pipeline for the rest of the
         cycle (one failure counted per stalled cycle, as a hardware
         replay would)."""
+        queue = self.queue
+        if not queue:
+            return
+        l1_access = self.l1.access
+        rsfails = AccessResult.RSFAILS
+        bypass_map = self.bypass_by_kernel
         busy = False
         for _ in range(self.width):
-            if not self.queue:
+            if not queue:
                 break
-            inst = self.queue[0]
+            inst = queue[0]
             request = self._current_request
             if request is None:
+                is_store = inst.is_store
+                if is_store:
+                    bypass = False
+                elif bypass_map is not None:
+                    bypass = bypass_map[inst.kernel]
+                else:
+                    bypass = sm.bundle.bypasses_l1d(inst.kernel)
                 request = MemRequest(
                     line=inst.lines[inst.next_idx],
                     kernel=inst.kernel,
                     sm_id=self.sm_id,
-                    is_write=inst.is_store,
-                    meminst=None if inst.is_store else inst,
+                    is_write=is_store,
+                    meminst=None if is_store else inst,
                     issued_cycle=cycle,
-                    bypass=sm.bundle.bypasses_l1d(inst.kernel)
-                    and not inst.is_store,
+                    bypass=bypass,
                 )
                 self._current_request = request
 
-            result = self.l1.access(request, cycle)
-            if result in AccessResult.RSFAILS:
+            result = l1_access(request, cycle)
+            if result in rsfails:
                 # Memory pipeline stall: replay the request next cycle.
                 self.stall_cycles += 1
                 sm.on_rsfail(request.kernel, cycle)
@@ -83,12 +101,11 @@ class LoadStoreUnit:
 
             busy = True
             self._current_request = None
-            waits = result in (AccessResult.MISS, AccessResult.MISS_MERGED) \
-                and not inst.is_store
+            waits = not inst.is_store and result in _MISSES
             inst.note_request_sent(waits_for_data=waits)
             sm.on_request_issued(request, result, cycle)
-            if inst.fully_expanded:
-                self.queue.popleft()
+            if inst.next_idx >= len(inst.lines):
+                queue.popleft()
                 inst.maybe_complete(cycle)
         if busy:
             self.busy_cycles += 1

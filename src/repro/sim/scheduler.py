@@ -14,20 +14,42 @@ Selection returns both the scheduler's primary pick and — when the
 primary pick is a memory instruction — a *fallback* compute warp, so
 the SM can still issue useful work when the LSU arbiter awards the
 single memory-issue slot to another scheduler.
+
+Hot-loop design (the selection loop dominates whole-simulation cost):
+
+* the owned-warp list is kept sorted by age at insertion time, so GTO
+  never sorts inside :meth:`select`; the GTO priority order (greedy
+  warp first, then oldest-first) is cached and only rebuilt when
+  membership or the greedy warp changes;
+* LRR rotation reuses one scratch buffer instead of slicing two new
+  lists per cycle;
+* a *next-wake* hint skips selection outright while every owned warp
+  is provably unissuable (blocked on latency): when a scan finds no
+  warp with ``ready_at <= cycle``, the scheduler sleeps until the
+  earliest ``ready_at``; warps blocked on MLP (a full complement of
+  outstanding loads) wake the scheduler through :meth:`wake_at` when a
+  load returns.  The hint only ever skips cycles whose selection would
+  provably return ``None``, so simulated behaviour is bit-identical;
+  construct with ``fastpath=False`` to force the reference scan every
+  cycle (used by the perf suite's equivalence checks).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from bisect import insort
+from typing import Callable, List, Optional
 
 from repro.sim.warp import Warp
-from repro.workloads.kernel import OP_ALU, OP_LOAD, OP_SFU, OP_STORE
+from repro.workloads.kernel import OP_ALU, OP_SFU
+
+#: sentinel wake-up cycle for "no warp can wake without an event".
+NEVER = (1 << 62)
 
 
 class Selection:
     """Outcome of one scheduler's selection phase."""
 
-    __slots__ = ("warp", "op", "fallback", "fallback_op")
+    __slots__ = ("warp", "op", "fallback", "fallback_op", "is_mem")
 
     def __init__(self, warp: Warp, op: str,
                  fallback: Optional[Warp] = None,
@@ -36,41 +58,82 @@ class Selection:
         self.op = op
         self.fallback = fallback
         self.fallback_op = fallback_op
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in (OP_LOAD, OP_STORE)
+        self.is_mem = not (op is OP_ALU or op is OP_SFU)
 
 
 class WarpScheduler:
     """One warp scheduler and the warps it owns."""
 
-    def __init__(self, sched_id: int, policy: str):
+    __slots__ = ("sched_id", "policy", "warps", "sm", "_greedy", "_lrr_pos",
+                 "_is_lrr", "_fastpath", "_next_wake", "_gto_order",
+                 "_gto_dirty", "_rot_buf", "_sel")
+
+    def __init__(self, sched_id: int, policy: str, fastpath: bool = True):
         if policy not in ("gto", "lrr"):
             raise ValueError(f"unknown scheduler policy {policy!r}")
         self.sched_id = sched_id
         self.policy = policy
         self.warps: List[Warp] = []
+        #: owning SM (set by the SM; None for standalone schedulers).
+        #: Wake events propagate here so a sleeping SM resumes ticking.
+        self.sm = None
         self._greedy: Optional[Warp] = None
         self._lrr_pos = 0
+        self._is_lrr = policy == "lrr"
+        self._fastpath = fastpath
+        #: earliest cycle at which select() could possibly pick a warp;
+        #: 0 forces a scan (used whenever membership changes).
+        self._next_wake = 0
+        self._gto_order: List[Warp] = []
+        self._gto_dirty = True
+        self._rot_buf: List[Warp] = []
+        #: reusable Selection for the fast path: one live selection per
+        #: scheduler per cycle, consumed by the SM before the next call.
+        self._sel: Selection = Selection.__new__(Selection)
 
     # ------------------------------------------------------------------
     def add_warp(self, warp: Warp) -> None:
-        self.warps.append(warp)
+        # Keep the list age-sorted (launch order); the SM hands warps
+        # out with monotonically increasing ages, so this is an append
+        # in practice, but insort keeps manual test setups correct too.
+        insort(self.warps, warp, key=_age_of)
+        warp.sched = self
+        self._gto_dirty = True
+        self._next_wake = 0
+        sm = self.sm
+        if sm is not None:
+            sm._sleep_until = 0
 
     def remove_warp(self, warp: Warp) -> None:
         self.warps.remove(warp)
+        warp.sched = None
         if self._greedy is warp:
             self._greedy = None
+        self._gto_dirty = True
 
     def note_issued(self, warp: Warp) -> None:
         """Record the issuing warp (updates GTO greediness)."""
-        self._greedy = warp
+        if self._greedy is not warp:
+            self._greedy = warp
+            self._gto_dirty = True
+
+    def wake_at(self, cycle: int) -> None:
+        """An external event (a load return) made a warp potentially
+        issuable at ``cycle``: lower the sleep hint accordingly, and
+        the owning SM's whole-tick sleep with it."""
+        if cycle < self._next_wake:
+            self._next_wake = cycle
+        sm = self.sm
+        if sm is not None and cycle < sm._sleep_until:
+            sm._sleep_until = cycle
 
     # ------------------------------------------------------------------
     def _priority_order(self) -> List[Warp]:
-        if self.policy == "gto":
-            ordered = sorted(self.warps, key=lambda w: w.age)
+        """Warps in this cycle's selection priority, computed from
+        scratch (the reference loop's path; the fast path consumes the
+        same orders from cached structures without re-sorting)."""
+        if not self._is_lrr:
+            ordered = sorted(self.warps, key=_age_of)
             greedy = self._greedy
             if greedy is not None and greedy in self.warps:
                 ordered.remove(greedy)
@@ -84,10 +147,21 @@ class WarpScheduler:
         self._lrr_pos += 1
         return self.warps[start:] + self.warps[:start]
 
+    def _rebuild_gto_order(self) -> None:
+        # C-level copy + remove/insert: greedy changes on most issues in
+        # memory-bound phases, so rebuild cost is on the hot path.
+        order = self._gto_order
+        order[:] = self.warps
+        greedy = self._greedy
+        if greedy is not None:
+            order.remove(greedy)
+            order.insert(0, greedy)
+        self._gto_dirty = False
+
     def select(self, cycle: int,
-               mem_ok: Callable[[Warp, str], bool],
-               compute_ok: Callable[[str], bool],
-               warp_gated: Callable[[Warp], bool] = lambda w: True,
+               mem_ok: Optional[Callable[[Warp, str], bool]],
+               compute_ok: Optional[Callable[[str], bool]],
+               warp_gated: Optional[Callable[[Warp], bool]] = None,
                ) -> Optional[Selection]:
         """Pick this scheduler's issue candidate for ``cycle``.
 
@@ -95,40 +169,148 @@ class WarpScheduler:
         that warp's kernel may issue this cycle (LSU space, MIL limit);
         ``compute_ok(op)`` tells whether the relevant execution port is
         free; ``warp_gated`` applies kernel-wide issue gates (SMK's
-        warp-instruction quota).
+        warp-instruction quota) — ``None`` means ungated.  All three
+        must be side-effect-free: the scheduler calls them only for
+        candidates that matter.
+
+        The fast path accepts two extra sentinels that let the SM
+        pre-resolve per-cycle verdicts: ``mem_ok=None`` means *no*
+        memory instruction can issue this cycle (LSU full — the common
+        memory-pipeline-stall case this paper studies), and
+        ``compute_ok=None`` means *every* compute port is available.
+        Both produce exactly the skips the callbacks would.
 
         The first issuable warp in priority order wins.  Warps whose
         memory instruction is gated (``mem_ok`` False) are skipped —
         the scheduler moves on to other warps rather than wasting the
         slot, which is how MIL frees issue bandwidth for compute.
+
+        The returned :class:`Selection` is a per-scheduler scratch
+        object, valid until this scheduler's next ``select`` call.
         """
-        primary: Optional[Tuple[Warp, str]] = None
-        fallback: Optional[Tuple[Warp, str]] = None
+        if not self._fastpath:
+            return self._select_reference(cycle, mem_ok, compute_ok,
+                                          warp_gated)
+        warps = self.warps
+        if cycle < self._next_wake:
+            # Every warp is blocked on latency until _next_wake: the
+            # scan below would return None.  Keep LRR's per-call
+            # rotation exactly as the full scan would have (it only
+            # advances while the scheduler owns warps).
+            if self._is_lrr and warps:
+                self._lrr_pos += 1
+            return None
+        n = len(warps)
+        if not n:
+            # Nothing to schedule until a warp is added (add_warp
+            # resets the hint and wakes the SM).
+            self._next_wake = NEVER
+            return None
+
+        if self._is_lrr:
+            order = self._rot_buf
+            order.clear()
+            start = self._lrr_pos % n
+            self._lrr_pos += 1
+            order.extend(warps[start:])
+            order.extend(warps[:start])
+        else:
+            if self._gto_dirty:
+                self._rebuild_gto_order()
+            order = self._gto_order
+
+        primary_warp: Optional[Warp] = None
+        primary_op: Optional[str] = None
+        any_ready = False
+        wake = NEVER
+        alu = OP_ALU
+        sfu = OP_SFU
+        for warp in order:
+            # Inlined Warp.issuable(cycle), tracking the earliest cycle
+            # a latency-blocked warp becomes ready.
+            if warp.outstanding_loads >= warp.mlp:
+                continue  # MLP-blocked: woken by wake_at on load return
+            op = warp.stream.next_op
+            if op is None:
+                continue  # stream drained, warp awaiting retirement
+            ready_at = warp.ready_at
+            if ready_at > cycle:
+                if ready_at < wake:
+                    wake = ready_at
+                continue
+            any_ready = True
+            if warp_gated is not None and not warp_gated(warp):
+                continue
+            if op is alu or op is sfu:
+                if compute_ok is not None and not compute_ok(op):
+                    continue
+                sel = self._sel
+                if primary_warp is None:
+                    sel.warp = warp
+                    sel.op = op
+                    sel.fallback = None
+                    sel.fallback_op = None
+                    sel.is_mem = False
+                    return sel
+                # primary is a mem candidate; this is its fallback.
+                sel.warp = primary_warp
+                sel.op = primary_op
+                sel.fallback = warp
+                sel.fallback_op = op
+                sel.is_mem = True
+                return sel
+            # memory instruction
+            if (mem_ok is not None and primary_warp is None
+                    and mem_ok(warp, op)):
+                primary_warp = warp
+                primary_op = op
+                # keep scanning for a compute fallback
+        if primary_warp is None:
+            if not any_ready:
+                # Nothing was even latency-ready: sleep until the
+                # earliest ready_at (or an external wake_at event).
+                self._next_wake = wake
+            return None
+        sel = self._sel
+        sel.warp = primary_warp
+        sel.op = primary_op
+        sel.fallback = None
+        sel.fallback_op = None
+        sel.is_mem = True
+        return sel
+
+    def _select_reference(self, cycle: int,
+                          mem_ok: Callable[[Warp, str], bool],
+                          compute_ok: Callable[[str], bool],
+                          warp_gated: Optional[Callable[[Warp], bool]],
+                          ) -> Optional[Selection]:
+        """Straightforward per-cycle scan (no caching, no sleep hints);
+        the baseline the perf suite measures fast paths against, and
+        the oracle the equivalence tests compare them to."""
+        primary: Optional[Warp] = None
+        primary_op: Optional[str] = None
         for warp in self._priority_order():
             if not warp.issuable(cycle):
                 continue
-            if not warp_gated(warp):
+            if warp_gated is not None and not warp_gated(warp):
                 continue
             op = warp.stream.peek()
-            if op is None:
-                continue
             if op in (OP_ALU, OP_SFU):
                 if not compute_ok(op):
                     continue
                 if primary is None:
                     return Selection(warp, op)
                 # primary is a mem candidate; this is its fallback.
-                fallback = (warp, op)
-                break
+                return Selection(primary, primary_op, warp, op)
             # memory instruction
-            if not mem_ok(warp, op):
-                continue
-            if primary is None:
-                primary = (warp, op)
+            if primary is None and mem_ok(warp, op):
+                primary = warp
+                primary_op = op
                 # keep scanning for a compute fallback
         if primary is None:
             return None
-        warp, op = primary
-        if fallback is not None:
-            return Selection(warp, op, fallback[0], fallback[1])
-        return Selection(warp, op)
+        return Selection(primary, primary_op)
+
+
+def _age_of(warp: Warp) -> int:
+    return warp.age

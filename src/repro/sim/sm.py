@@ -18,16 +18,17 @@ failures, in-flight counts) to its :class:`~repro.core.SchemeBundle`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.config import GPUConfig
 from repro.core.arbiter import SchemeBundle
+from repro.core.mil import NoLimit
 from repro.mem.cache import L1DCache
 from repro.sim.lsu import LoadStoreUnit
-from repro.sim.scheduler import Selection, WarpScheduler
+from repro.sim.scheduler import NEVER, WarpScheduler
 from repro.sim.stats import KernelStats, TimelineRecorder
 from repro.sim.warp import MemInst, ThreadBlock, Warp
-from repro.workloads.kernel import OP_ALU, OP_SFU, OP_STORE
+from repro.workloads.kernel import OP_SFU, OP_STORE
 
 
 class SMKernelState:
@@ -48,7 +49,8 @@ class StreamingMultiprocessor:
     def __init__(self, sm_id: int, config: GPUConfig, l1: L1DCache,
                  launches: List, bundle: SchemeBundle,
                  kernel_stats: Dict[int, KernelStats],
-                 timeline: Optional[TimelineRecorder] = None):
+                 timeline: Optional[TimelineRecorder] = None,
+                 fastpath: bool = True):
         self.sm_id = sm_id
         self.config = config
         self.l1 = l1
@@ -58,13 +60,25 @@ class StreamingMultiprocessor:
         self.timeline = timeline
 
         self.lsu = LoadStoreUnit(sm_id, l1, width=config.lsu_width)
-        self.schedulers = [WarpScheduler(i, config.scheduler_policy)
+        self.schedulers = [WarpScheduler(i, config.scheduler_policy,
+                                         fastpath=fastpath)
                            for i in range(config.schedulers_per_sm)]
+        for sched in self.schedulers:
+            sched.sm = self
         self.kstate: Dict[int, SMKernelState] = {
             launch.slot: SMKernelState(launch.tb_limits[sm_id])
             for launch in launches
         }
+        #: kstate as a list — the slot set is fixed for the whole run,
+        #: so per-tick iteration avoids rebuilding a dict view.
+        self._kstate_items = list(self.kstate.items())
         self._launch_by_slot = {launch.slot: launch for launch in launches}
+        # The bypass set is fixed per run: give the LSU a plain dict
+        # instead of a per-request predicate call.
+        self.lsu.bypass_by_kernel = {
+            launch.slot: bundle.bypasses_l1d(launch.slot)
+            for launch in launches
+        }
 
         # Static resource bookkeeping.
         self._used_threads = 0
@@ -80,6 +94,48 @@ class StreamingMultiprocessor:
         self._sfu_used = False
         self.alu_busy = 0
         self.sfu_busy = 0
+
+        # Hot-loop state for the issue callbacks (set per tick) plus
+        # bound-method references so tick() allocates no closures.
+        # LSU occupancy and MIL verdicts depend only on the kernel slot
+        # and on state that is frozen during the selection phase, so
+        # the fast path resolves them once per tick into _mem_ok_now
+        # instead of re-deriving them per candidate warp.  The SMK gate
+        # is NOT frozen — compute issues during the scheduler loop
+        # consume quota via note_issue — so gate verdicts are always
+        # queried live, exactly as the reference closures do.
+        self._fastpath = fastpath
+        self._gate = None
+        self._lsu_free = True
+        self._mem_ok_now: Dict[int, bool] = {}
+        # With no SMK gate and an unlimited MIL, the per-kernel verdict
+        # collapses to "is the LSU free": keep both constant answer
+        # maps prebuilt and just point _mem_ok_now at the right one.
+        self._limiter_unlimited = isinstance(bundle.limiter, NoLimit)
+        self._ok_all = {launch.slot: True for launch in launches}
+        self._ok_none = {launch.slot: False for launch in launches}
+        # Scheduler issue orders for each round-robin start, prebuilt.
+        nsched = len(self.schedulers)
+        self._sched_orders = [
+            tuple(self.schedulers[(s + o) % nsched] for o in range(nsched))
+            for s in range(nsched)
+        ]
+        self._mem_ok_cb = self._mem_ok
+        self._mem_ok_gated_cb = self._mem_ok_gated
+        self._compute_ok_cb = self._compute_ok
+        self._warp_gated_cb = self._warp_gated
+        #: True while a TB-launch scan is known to be futile; cleared
+        #: whenever residency or a TB limit changes.
+        self._launch_blocked = False
+        #: whole-SM sleep: while ``cycle < _sleep_until`` the entire
+        #: tick is provably a no-op and is skipped.  Only eligible
+        #: under GTO with no UCP (LRR rotates per-cycle state; UCP
+        #: ticks its epoch counter every cycle).
+        self._sleep_until = 0
+        self._last_tick = -1
+        self._sleep_eligible = (fastpath
+                                and config.scheduler_policy == "gto"
+                                and bundle.ucp is None)
 
     # ------------------------------------------------------------------
     # thread block launch
@@ -97,7 +153,15 @@ class StreamingMultiprocessor:
         )
 
     def try_launch_tb(self, cycle: int) -> None:
-        """Launch at most one TB, round-robin over kernels."""
+        """Launch at most one TB, round-robin over kernels.
+
+        A failed scan is remembered (``_launch_blocked``): launchability
+        only changes when a TB retires or a TB limit is reconfigured,
+        both of which clear the flag, so blocked cycles skip the scan
+        (fast path only; the reference loop always rescans).
+        """
+        if self._launch_blocked and self._fastpath:
+            return
         n = len(self.launches)
         if not n:
             return
@@ -112,6 +176,7 @@ class StreamingMultiprocessor:
             self._launch_rr = (start + offset + 1) % n
             self._launch(launch, cycle)
             return
+        self._launch_blocked = True
 
     def _launch(self, launch, cycle: int) -> None:
         cfg = self.config
@@ -152,20 +217,50 @@ class StreamingMultiprocessor:
         self._used_warps -= warps_per_tb
         self._used_regs -= profile.regs_per_thread * profile.threads_per_tb
         self._used_smem -= profile.smem_per_tb
+        self._launch_blocked = False
+        # Freed residency may admit a new TB: resume ticking.
+        self._sleep_until = 0
         self.kernel_stats[tb.kernel_slot].tbs_completed += 1
 
     def _finish_warp(self, warp: Warp) -> None:
-        for sched in self.schedulers:
-            if warp in sched.warps:
-                sched.remove_warp(warp)
-                break
+        # The owning scheduler is recorded on the warp at add_warp
+        # time, so retirement needs no scan over schedulers.
+        warp.sched.remove_warp(warp)
         warp.tb.note_warp_done()
         if warp.tb.done:
             self._retire_tb(warp.tb)
 
     # ------------------------------------------------------------------
     # issue
+    def _mem_ok(self, warp: Warp, op: str) -> bool:
+        return self._mem_ok_now[warp.kernel_slot]
+
+    def _mem_ok_gated(self, warp: Warp, op: str) -> bool:
+        # Gate queried live: quota may have been consumed by an issue
+        # earlier in this same cycle's scheduler loop.
+        k = warp.kernel_slot
+        return self._mem_ok_now[k] and self._gate.can_issue(k)
+
+    def _compute_ok(self, op: str) -> bool:
+        return not (op == OP_SFU and self._sfu_used)
+
+    def _warp_gated(self, warp: Warp) -> bool:
+        return self._gate.can_issue(warp.kernel_slot)
+
     def tick(self, cycle: int) -> None:
+        if cycle < self._sleep_until:
+            # Whole-SM sleep (see __init__): nothing can launch, issue
+            # or drain before _sleep_until; external events lower it.
+            return
+        last = self._last_tick
+        self._last_tick = cycle
+        if self._fastpath and cycle - last > 1:
+            # The scheduler round-robin start advances once per cycle
+            # in the reference loop, including cycles a sleeping SM
+            # skipped: catch the rotation phase up so arbitration
+            # order stays bit-identical.
+            self._sched_rr = (self._sched_rr + (cycle - last - 1)) \
+                % len(self.schedulers)
         bundle = self.bundle
         if bundle.ucp is not None:
             bundle.ucp.tick(cycle)
@@ -173,36 +268,89 @@ class StreamingMultiprocessor:
         self._sfu_used = False
 
         gate = bundle.smk_gate
-        limiter = bundle.limiter
-        lsu_free = self.lsu.can_accept()
+        self._gate = gate
+        lsu = self.lsu
+        self._lsu_free = lsu_free = len(lsu.queue) < lsu.queue_depth
+        fastpath = self._fastpath
+        if fastpath:
+            # Resolve the per-kernel can-issue verdicts once: the gate,
+            # the limiter and the LSU occupancy are all frozen during
+            # the selection phase, and all their predicates are pure.
+            # ``mem_ok=None`` is the scheduler's "nothing mem can
+            # issue" sentinel — the memory-pipeline-stall case, where
+            # per-warp callback dispatch would be pure overhead.
+            if gate is None:
+                # With no SMK gate every warp is ungated; passing None
+                # lets the scheduler skip the per-warp check entirely.
+                warp_gated = None
+                if not lsu_free:
+                    mem_ok = None
+                elif self._limiter_unlimited:
+                    self._mem_ok_now = self._ok_all
+                    mem_ok = self._mem_ok_cb
+                else:
+                    # The limiter kind is fixed per run, so _mem_ok_now
+                    # still points at its own mutable dict here.
+                    limiter = bundle.limiter
+                    ok = self._mem_ok_now
+                    for k, st in self._kstate_items:
+                        ok[k] = limiter.can_issue(k, st.inflight_minsts)
+                    mem_ok = self._mem_ok_cb
+            else:
+                warp_gated = self._warp_gated_cb
+                if lsu_free:
+                    limiter = bundle.limiter
+                    ok = self._mem_ok_now
+                    for k, st in self._kstate_items:
+                        ok[k] = limiter.can_issue(k, st.inflight_minsts)
+                    mem_ok = self._mem_ok_gated_cb
+                else:
+                    mem_ok = None
+            compute_ok = self._compute_ok_cb
+        else:
+            # Reference loop: allocate the callbacks as per-cycle
+            # closures, the straightforward implementation the fast
+            # path is benchmarked against.
+            limiter = bundle.limiter
+            lsu_free = self._lsu_free
 
-        def mem_ok(warp: Warp, op: str) -> bool:
-            k = warp.kernel_slot
-            if gate is not None and not gate.can_issue(k):
-                return False
-            return lsu_free and limiter.can_issue(k, self.kstate[k].inflight_minsts)
+            def mem_ok(warp: Warp, op: str) -> bool:
+                k = warp.kernel_slot
+                if gate is not None and not gate.can_issue(k):
+                    return False
+                return lsu_free and limiter.can_issue(
+                    k, self.kstate[k].inflight_minsts)
 
-        def compute_ok(op: str) -> bool:
-            return not (op == OP_SFU and self._sfu_used)
+            def compute_ok(op: str) -> bool:
+                return not (op == OP_SFU and self._sfu_used)
 
-        def warp_gated(warp: Warp) -> bool:
-            return gate is None or gate.can_issue(warp.kernel_slot)
+            def warp_gated(warp: Warp) -> bool:
+                return gate is None or gate.can_issue(warp.kernel_slot)
 
-        mem_proposals = []
+        mem_proposals = None
         n = len(self.schedulers)
         start = self._sched_rr
-        self._sched_rr = (self._sched_rr + 1) % n
-        for offset in range(n):
-            sched = self.schedulers[(start + offset) % n]
-            sel = sched.select(cycle, mem_ok, compute_ok, warp_gated)
+        self._sched_rr = (start + 1) % n
+        for sched in self._sched_orders[start]:
+            if fastpath:
+                # compute_ok=None: every port free (no SFU issued yet
+                # this cycle) — the scheduler skips the callback.
+                sel = sched.select(
+                    cycle, mem_ok,
+                    compute_ok if self._sfu_used else None, warp_gated)
+            else:
+                sel = sched.select(cycle, mem_ok, compute_ok, warp_gated)
             if sel is None:
                 continue
             if sel.is_mem:
-                mem_proposals.append((sched, sel))
+                if mem_proposals is None:
+                    mem_proposals = [(sched, sel)]
+                else:
+                    mem_proposals.append((sched, sel))
             else:
                 self._issue_compute(sched, sel.warp, sel.op, cycle)
 
-        if mem_proposals:
+        if mem_proposals is not None:
             kernels = [sel.warp.kernel_slot for _, sel in mem_proposals]
             winner = bundle.mem_policy.pick(kernels)
             for idx, (sched, sel) in enumerate(mem_proposals):
@@ -217,10 +365,23 @@ class StreamingMultiprocessor:
             resident = [k for k, st in self.kstate.items() if st.resident_warps]
             if resident:
                 gate.maybe_reset(resident)
+        elif (self._sleep_eligible and self._launch_blocked
+                and not self.lsu.queue):
+            # Every scheduler's latest scan found nothing latency-ready
+            # (future hints), no TB can launch and the LSU is drained:
+            # the SM provably no-ops until the earliest scheduler wake.
+            wake = NEVER
+            for sched in self.schedulers:
+                nw = sched._next_wake
+                if nw < wake:
+                    wake = nw
+            if wake > cycle + 1:
+                self._sleep_until = wake
 
     def _issue_compute(self, sched: WarpScheduler, warp: Warp, op: str,
                        cycle: int) -> None:
-        warp.stream.pop()
+        stream = warp.stream
+        stream.pop()
         k = warp.kernel_slot
         stats = self.kernel_stats[k]
         stats.warp_insts += 1
@@ -234,26 +395,30 @@ class StreamingMultiprocessor:
             self.alu_busy += 1
             warp.ready_at = cycle + 1
         sched.note_issued(warp)
-        if self.bundle.smk_gate is not None:
-            self.bundle.smk_gate.note_issue(k)
+        gate = self._gate
+        if gate is not None:
+            gate.note_issue(k)
         if self.timeline is not None:
             self.timeline.bump("insts", k, cycle)
-        if warp.retired:
+        if stream.next_op is None and not warp.outstanding_loads:
             self._finish_warp(warp)
 
     def _issue_mem(self, sched: WarpScheduler, warp: Warp, op: str,
                    cycle: int) -> None:
-        warp.stream.pop()
+        stream = warp.stream
+        stream.pop()
         k = warp.kernel_slot
         is_store = op == OP_STORE
-        desc = warp.stream.memory_descriptor(is_store)
+        desc = stream.memory_descriptor(is_store)
         launch = self._launch_by_slot[k]
-        lines = tuple(launch.base_line + line for line in desc.lines)
+        base = launch.base_line
+        lines = tuple([base + line for line in desc.lines])
         inst = MemInst(warp, lines, is_store, cycle, self._on_meminst_complete)
         state = self.kstate[k]
         state.inflight_minsts += 1
-        self.bundle.limiter.observe_inflight(k, state.inflight_minsts)
-        self.bundle.mem_policy.note_mem_inst(k)
+        bundle = self.bundle
+        bundle.limiter.observe_inflight(k, state.inflight_minsts)
+        bundle.mem_policy.note_mem_inst(k)
         self.lsu.enqueue(inst)
 
         stats = self.kernel_stats[k]
@@ -264,11 +429,12 @@ class StreamingMultiprocessor:
         else:
             warp.note_load_issued(cycle)
         sched.note_issued(warp)
-        if self.bundle.smk_gate is not None:
-            self.bundle.smk_gate.note_issue(k)
+        gate = self._gate
+        if gate is not None:
+            gate.note_issue(k)
         if self.timeline is not None:
             self.timeline.bump("insts", k, cycle)
-        if warp.retired:
+        if stream.next_op is None and not warp.outstanding_loads:
             self._finish_warp(warp)
 
     # ------------------------------------------------------------------
@@ -294,8 +460,12 @@ class StreamingMultiprocessor:
         warp = inst.warp
         if not inst.is_store:
             warp.note_load_done(cycle)
-            if warp.retired:
+            if warp.stream.next_op is None and not warp.outstanding_loads:
                 self._finish_warp(warp)
+            else:
+                # The returned load may unblock an MLP-capped warp the
+                # scheduler's sleep hint knows nothing about.
+                warp.sched.wake_at(warp.ready_at)
 
     # ------------------------------------------------------------------
     def resident_warps(self) -> int:

@@ -21,6 +21,9 @@ from typing import Dict, List, Optional
 class KernelStats:
     """Counters for one kernel slot, aggregated across SMs."""
 
+    __slots__ = ("warp_insts", "alu_insts", "sfu_insts", "mem_insts",
+                 "mem_requests", "tbs_completed", "tbs_launched")
+
     def __init__(self) -> None:
         self.warp_insts = 0
         self.alu_insts = 0

@@ -14,7 +14,7 @@ request completes (loads) or until it is fully expanded (stores).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.workloads.kernel import InstructionStream, KernelProfile
 
@@ -54,7 +54,8 @@ class MemInst:
         self.maybe_complete(cycle)
 
     def maybe_complete(self, cycle: int) -> None:
-        if self._completed or not self.fully_expanded or self.pending:
+        if (self._completed or self.pending
+                or self.next_idx < len(self.lines)):
             return
         self._completed = True
         self.on_complete(self, cycle)
@@ -71,7 +72,7 @@ class Warp:
     """
 
     __slots__ = ("warp_id", "kernel_slot", "tb", "stream", "ready_at",
-                 "outstanding_loads", "mlp", "age")
+                 "outstanding_loads", "mlp", "age", "sched")
 
     def __init__(self, warp_id: int, kernel_slot: int, tb: "ThreadBlock",
                  stream: InstructionStream, age: int, mlp: int = 2):
@@ -86,6 +87,9 @@ class Warp:
         self.mlp = mlp
         #: monotone launch sequence used for "oldest" in GTO.
         self.age = age
+        #: owning scheduler, set by WarpScheduler.add_warp — lets the SM
+        #: retire a warp in O(1) instead of scanning every scheduler.
+        self.sched = None
 
     @property
     def done(self) -> bool:

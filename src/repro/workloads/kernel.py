@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.workloads.address import AccessPattern
 
@@ -120,9 +120,15 @@ class InstructionStream:
 
     The stream interleaves ``cinst_per_minst`` compute instructions
     (ALU, or SFU with probability ``sfu_frac``) with one memory
-    instruction per iteration.  ``peek`` exposes the next opcode so the
-    scheduler can decide issue eligibility without consuming it.
+    instruction per iteration.  ``next_op`` exposes the next opcode so
+    the scheduler can decide issue eligibility without consuming it
+    (``peek`` is the equivalent method form); it is ``None`` once the
+    warp's work is finished.
     """
+
+    __slots__ = ("profile", "next_op", "_pattern", "_warp_index", "_rng",
+                 "_rng_random", "_iters_left", "_compute_left",
+                 "_cinst_per_minst", "_sfu_frac", "_write_frac")
 
     def __init__(self, profile: KernelProfile, pattern: AccessPattern,
                  global_warp_index: int, seed: int):
@@ -130,47 +136,67 @@ class InstructionStream:
         self._pattern = pattern
         self._warp_index = global_warp_index
         self._rng = random.Random((seed * 1000003 + global_warp_index) & 0x7FFFFFFF)
+        # Hot-loop bindings: pop/_advance run once per issued
+        # instruction, so dataclass field lookups are hoisted here.
+        self._rng_random = self._rng.random
+        self._cinst_per_minst = profile.cinst_per_minst
+        self._sfu_frac = profile.sfu_frac
+        self._write_frac = profile.write_frac
         self._iters_left = profile.iters_per_warp
         self._compute_left = profile.cinst_per_minst
-        self._next_op: Optional[str] = None
+        self.next_op: Optional[str] = None
         self._advance()
 
     def _advance(self) -> None:
         if self._iters_left <= 0:
-            self._next_op = None
+            self.next_op = None
             return
         if self._compute_left > 0:
-            if self.profile.sfu_frac and self._rng.random() < self.profile.sfu_frac:
-                self._next_op = OP_SFU
+            if self._sfu_frac and self._rng_random() < self._sfu_frac:
+                self.next_op = OP_SFU
             else:
-                self._next_op = OP_ALU
+                self.next_op = OP_ALU
         else:
-            if self._rng.random() < self.profile.write_frac:
-                self._next_op = OP_STORE
+            if self._rng_random() < self._write_frac:
+                self.next_op = OP_STORE
             else:
-                self._next_op = OP_LOAD
+                self.next_op = OP_LOAD
 
     @property
     def done(self) -> bool:
-        return self._next_op is None
+        return self.next_op is None
 
     def peek(self) -> Optional[str]:
         """Opcode of the next instruction, or None when the TB's work
         for this warp is finished."""
-        return self._next_op
+        return self.next_op
 
     def pop(self) -> str:
         """Consume and return the next opcode.  For memory opcodes the
-        caller must follow up with :meth:`memory_descriptor`."""
-        op = self._next_op
+        caller must follow up with :meth:`memory_descriptor`.
+
+        Runs once per issued instruction; the body of :meth:`_advance`
+        is inlined to keep the per-issue cost to one call."""
+        op = self.next_op
         if op is None:
             raise RuntimeError("instruction stream exhausted")
-        if op in (OP_ALU, OP_SFU):
+        if op is OP_ALU or op is OP_SFU:
             self._compute_left -= 1
         else:
-            self._compute_left = self.profile.cinst_per_minst
+            self._compute_left = self._cinst_per_minst
             self._iters_left -= 1
-        self._advance()
+        # _advance(), inlined:
+        if self._iters_left <= 0:
+            self.next_op = None
+        elif self._compute_left > 0:
+            if self._sfu_frac and self._rng_random() < self._sfu_frac:
+                self.next_op = OP_SFU
+            else:
+                self.next_op = OP_ALU
+        elif self._rng_random() < self._write_frac:
+            self.next_op = OP_STORE
+        else:
+            self.next_op = OP_LOAD
         return op
 
     def memory_descriptor(self, is_store: bool) -> MemInstDescriptor:

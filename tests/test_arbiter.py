@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import scaled_config
-from repro.core.arbiter import SchemeBundle, SchemeConfig, SMKQuotaGate
+from repro.core.arbiter import SchemeConfig, SMKQuotaGate
 from repro.core.bmi import QuotaBMI, RoundRobinBMI, UnmanagedIssue
 from repro.core.mil import DynamicLimiter, NoLimit, StaticLimiter
 from repro.mem.cache import SetAssocCache

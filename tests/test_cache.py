@@ -1,7 +1,6 @@
 """Unit tests for the set-associative tag store and the L1D controller
 (reservation-failure semantics of paper §2.1)."""
 
-import pytest
 
 from repro.config import CacheConfig
 from repro.mem.cache import AccessResult, L1DCache, SetAssocCache

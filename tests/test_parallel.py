@@ -1,0 +1,138 @@
+"""Serial vs parallel campaign execution must agree bit for bit.
+
+The parallel executor (``repro.harness.parallel``) fans grid cells out
+over worker processes; every worker rebuilds its own runner.  These
+tests pin the contract the perf harness relies on: the parallel path
+is an *execution strategy*, never a different experiment — outcomes,
+including every float metric, equal the serial loop exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.config import scaled_config
+from repro.harness.parallel import (CurveJob, IsoJob, MixJob, PoolConfig,
+                                    campaign_jobs, prefetch_jobs, run_jobs)
+from repro.harness.perfbench import outcome_signature
+from repro.harness.runner import ExperimentRunner, RunnerSettings
+from repro.workloads.mixes import WorkloadMix
+from repro.workloads.profiles import get_profile
+
+SETTINGS = RunnerSettings(iso_cycles=600, curve_cycles=400,
+                          concurrent_cycles=800)
+
+
+def make_runner(tmp_path, sub):
+    cache = tmp_path / sub
+    cache.mkdir(parents=True, exist_ok=True)
+    return ExperimentRunner(scaled_config(), SETTINGS, cache_dir=str(cache))
+
+
+def make_mixes(pairs):
+    return [WorkloadMix(tuple(get_profile(k) for k in pair))
+            for pair in pairs]
+
+
+@pytest.mark.parametrize("pairs,schemes", [
+    ((("3m", "bp"),), ["ws"]),
+    ((("3m", "bp"), ("st", "sv")), ["ws", "ws-dmil"]),
+    ((("hs", "cd"),), ["ws-rbmi", "even"]),
+])
+def test_campaign_serial_vs_parallel_bit_identical(tmp_path, pairs, schemes):
+    mixes = make_mixes(pairs)
+
+    serial_runner = make_runner(tmp_path, "serial")
+    serial = [serial_runner.run_mix(mix, scheme)
+              for mix in mixes for scheme in schemes]
+
+    parallel_runner = make_runner(tmp_path, "parallel")
+    parallel = parallel_runner.run_campaign(mixes, schemes, workers=2)
+
+    assert len(serial) == len(parallel)
+    for s, p in zip(serial, parallel):
+        # Full-precision equality, floats included: the parallel path
+        # must be the same experiment, not an approximation of it.
+        assert outcome_signature(s) == outcome_signature(p)
+
+
+def test_single_worker_falls_back_to_serial(tmp_path):
+    """workers=1 must not spawn a pool and must match workers>1."""
+    mixes = make_mixes((("3m", "bp"),))
+    one = make_runner(tmp_path, "one").run_campaign(mixes, ["ws"], workers=1)
+    two = make_runner(tmp_path, "two").run_campaign(mixes, ["ws"], workers=2)
+    assert [outcome_signature(o) for o in one] \
+        == [outcome_signature(o) for o in two]
+
+
+def test_run_jobs_dedups_and_preserves_order(tmp_path):
+    runner = make_runner(tmp_path, "dedup")
+    jobs = [IsoJob("3m"), IsoJob("bp"), IsoJob("3m")]
+    records = run_jobs(runner, jobs, workers=1)
+    assert [r.name for r in records] == ["3m", "bp", "3m"]
+    assert records[0] is records[2]  # one execution, fanned back out
+
+
+def test_prefetch_seeds_caches_for_serial_reuse(tmp_path):
+    runner = make_runner(tmp_path, "prefetch")
+    mixes = make_mixes((("3m", "bp"),))
+    runner.prefetch(prefetch_jobs(mixes, ["ws"]), workers=2)
+    # Curves and isolated records are now in-memory; run_mix must not
+    # need to recompute them (observable: in-memory caches populated).
+    assert runner._iso_cache and runner._curve_cache
+    outcome = runner.run_mix(mixes[0], "ws")
+    assert outcome.scheme == "ws"
+
+
+def test_campaign_jobs_grid_is_mix_major():
+    mixes = make_mixes((("3m", "bp"), ("st", "sv")))
+    jobs = campaign_jobs(mixes, ["ws", "even"])
+    assert jobs == [
+        MixJob(("3m", "bp"), "ws", None),
+        MixJob(("3m", "bp"), "even", None),
+        MixJob(("st", "sv"), "ws", None),
+        MixJob(("st", "sv"), "even", None),
+    ]
+
+
+def test_prefetch_jobs_skip_curves_without_ws():
+    mixes = make_mixes((("3m", "bp"),))
+    assert not any(isinstance(j, CurveJob)
+                   for j in prefetch_jobs(mixes, ["even", "smk"]))
+    assert any(isinstance(j, CurveJob)
+               for j in prefetch_jobs(mixes, ["even", "ws-dmil"]))
+
+
+def test_pool_config_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
+    assert PoolConfig().resolved_workers() == 3
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "not-a-number")
+    assert PoolConfig().resolved_workers() == (os.cpu_count() or 1)
+    assert PoolConfig(workers=5).resolved_workers() == 5
+
+
+def test_corrupt_disk_cache_record_is_recomputed(tmp_path):
+    """A truncated/corrupt cache record must be recomputed, not crash,
+    and the recomputed result must match a clean runner's."""
+    runner = make_runner(tmp_path, "corrupt")
+    profile = get_profile("3m")
+    clean = runner.isolated(profile, tbs=1)
+
+    # Corrupt every record on disk, then force a cold in-memory cache.
+    cache_dir = runner.cache_dir
+    paths = [os.path.join(cache_dir, f) for f in os.listdir(cache_dir)
+             if f.endswith(".json")]
+    assert paths, "isolated() should have written a disk record"
+    for path in paths:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+
+    reloaded = make_runner(tmp_path, "corrupt")
+    rerun = reloaded.isolated(profile, tbs=1)
+    assert rerun == clean
+
+    # The bad record was replaced by a valid one.
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            json.load(fh)

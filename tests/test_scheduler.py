@@ -3,7 +3,7 @@
 from repro.sim.scheduler import WarpScheduler
 from repro.sim.warp import ThreadBlock, Warp
 from repro.workloads.address import StreamPattern
-from repro.workloads.kernel import OP_ALU, OP_LOAD, InstructionStream, KernelProfile
+from repro.workloads.kernel import OP_ALU, InstructionStream, KernelProfile
 
 
 def make_warp(age, kernel=0, cinst=5, iters=10, seed=0):

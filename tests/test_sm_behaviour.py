@@ -1,7 +1,6 @@
 """Focused SM-level behaviour tests: SMK quota gating, BMI arbitration
 effects, MIL gating, and bypass — observed through short live runs."""
 
-import pytest
 
 from repro.config import scaled_config
 from repro.core.arbiter import SchemeConfig

@@ -1,7 +1,6 @@
 """Integration tests for the memory backend (L1 → icnt → L2 → DRAM →
 back), including backpressure behaviour."""
 
-import pytest
 
 from repro.config import scaled_config
 from repro.mem.cache import AccessResult
