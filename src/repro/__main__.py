@@ -5,12 +5,23 @@ Commands
 
 ``characterize``
     Isolated characterisation of all 13 benchmarks (Table 2 / Fig 2).
-``run A B [--scheme S] [--cycles N]``
-    One concurrent workload under one scheme.
+``run A B [--scheme S] [--cycles N] [--obs] [--trace OUT.json]``
+    One concurrent workload under one scheme.  ``--obs`` appends the
+    stall-attribution breakdown; ``--trace`` also records a Chrome
+    trace (Perfetto-loadable) of the run.
+``stalls A B [--scheme S] [--cycles N]``
+    Per-kernel stall-attribution breakdown (the paper's Figure 3
+    methodology): where every scheduler issue slot went, and which L1D
+    resource each LSU stall cycle waited on.
+``trace A B OUT.json [--scheme S] [--cycles N]``
+    Record a concurrent run as Chrome trace-event JSON — open in
+    Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
 ``report OUT.md [--quick]``
     Full campaign report written to a markdown file.
-``campaign A,B [C,D ...] [--schemes S1,S2] [--workers N]``
-    A mixes×schemes grid fanned out over worker processes.
+``campaign A,B [C,D ...] [--schemes S1,S2] [--workers N] [--progress]
+[--obs]``
+    A mixes×schemes grid fanned out over worker processes, with
+    optional live heartbeat telemetry and per-cell stall reports.
 ``bench [--which cycle-loop|campaign|all] [--workers N]``
     Wall-clock perf benchmarks; writes ``BENCH_*.json`` at the root.
 ``schemes``
@@ -58,10 +69,26 @@ def cmd_characterize(_args) -> int:
     return 0
 
 
+def _obs_options(args):
+    """Resolve the observability request of a run-like command."""
+    from repro.obs import ObsOptions
+    if getattr(args, "trace", None):
+        return ObsOptions(trace=True,
+                          trace_issue_sample=args.issue_sample,
+                          trace_mem_sample=args.mem_sample)
+    if getattr(args, "obs", False):
+        return ObsOptions()
+    return None
+
+
 def cmd_run(args) -> int:
     runner = ExperimentRunner(scaled_config())
-    outcome = runner.run_mix(mix(args.a, args.b), args.scheme,
-                             cycles=args.cycles)
+    try:
+        outcome = runner.run_mix(mix(args.a, args.b), args.scheme,
+                                 cycles=args.cycles, obs=_obs_options(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"workload {outcome.mix_name} ({outcome.mix_class}) "
           f"under {outcome.scheme}")
     print(f"  TB partition/SM : {outcome.partition}")
@@ -70,6 +97,52 @@ def cmd_run(args) -> int:
     print(f"  weighted speedup: {outcome.weighted_speedup:.3f}")
     print(f"  ANTT            : {outcome.antt:.3f}")
     print(f"  fairness        : {outcome.fairness:.3f}")
+    report = outcome.result.obs
+    if report is not None:
+        from repro.obs import format_stall_report
+        print()
+        print(format_stall_report(report))
+    if getattr(args, "trace", None):
+        report.write_trace(args.trace)
+        print(f"\ntrace written to {args.trace} "
+              f"({len(report.trace_events)} events, "
+              f"{report.trace_dropped} dropped) — open in Perfetto")
+    return 0
+
+
+def cmd_stalls(args) -> int:
+    from repro.obs import format_stall_report
+    runner = ExperimentRunner(scaled_config())
+    try:
+        outcome = runner.run_mix(mix(args.a, args.b), args.scheme,
+                                 cycles=args.cycles, obs=True)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"workload {outcome.mix_name} ({outcome.mix_class}) "
+          f"under {outcome.scheme}")
+    print(format_stall_report(outcome.result.obs))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import ObsOptions
+    runner = ExperimentRunner(scaled_config())
+    options = ObsOptions(trace=True,
+                         trace_issue_sample=args.issue_sample,
+                         trace_mem_sample=args.mem_sample)
+    try:
+        outcome = runner.run_mix(mix(args.a, args.b), args.scheme,
+                                 cycles=args.cycles, obs=options)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = outcome.result.obs
+    report.write_trace(args.out)
+    print(f"trace written to {args.out} "
+          f"({len(report.trace_events)} events, "
+          f"{report.trace_dropped} dropped) — open in Perfetto "
+          f"(https://ui.perfetto.dev) or chrome://tracing")
     return 0
 
 
@@ -96,12 +169,27 @@ def cmd_campaign(args) -> int:
         mixes.append(WorkloadMix(tuple(get_profile(n) for n in names)))
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
     runner = ExperimentRunner(scaled_config())
-    outcomes = runner.run_campaign(mixes, schemes, workers=args.workers)
+    telemetry = None
+    if args.progress:
+        from repro.obs import CampaignTelemetry
+        telemetry = CampaignTelemetry()
+    outcomes = runner.run_campaign(mixes, schemes, workers=args.workers,
+                                   obs=args.obs, progress=telemetry)
+    if telemetry is not None:
+        print(telemetry.summary(), file=sys.stderr)
     rows = [[o.mix_name, o.scheme, str(o.partition), o.weighted_speedup,
              o.antt, o.fairness] for o in outcomes]
     print(format_table(
         ["mix", "scheme", "TBs/SM", "WS", "ANTT", "fairness"],
         rows, precision=3))
+    if args.obs:
+        from repro.obs import format_stall_report
+        from repro.obs.collector import ObsReport
+        reports = [o.result.obs for o in outcomes if o.result.obs is not None]
+        if reports:
+            print()
+            print(f"stall attribution merged over {len(reports)} cells:")
+            print(format_stall_report(ObsReport.merged(reports)))
     return 0
 
 
@@ -142,7 +230,34 @@ def main(argv=None) -> int:
     run.add_argument("b")
     run.add_argument("--scheme", default="ws-dmil")
     run.add_argument("--cycles", type=int, default=None)
+    run.add_argument("--obs", action="store_true",
+                     help="collect and print the stall-attribution breakdown")
+    run.add_argument("--trace", metavar="OUT.json", default=None,
+                     help="also record a Chrome trace (implies --obs)")
+    run.add_argument("--issue-sample", type=int, default=16,
+                     help="record every Nth warp-issue slice (default 16)")
+    run.add_argument("--mem-sample", type=int, default=4,
+                     help="trace every Nth memory request (default 4)")
     run.set_defaults(fn=cmd_run)
+
+    stalls = sub.add_parser("stalls")
+    stalls.add_argument("a")
+    stalls.add_argument("b")
+    stalls.add_argument("--scheme", default="ws-dmil")
+    stalls.add_argument("--cycles", type=int, default=None)
+    stalls.set_defaults(fn=cmd_stalls)
+
+    trace = sub.add_parser("trace")
+    trace.add_argument("a")
+    trace.add_argument("b")
+    trace.add_argument("out", metavar="OUT.json")
+    trace.add_argument("--scheme", default="ws-dmil")
+    trace.add_argument("--cycles", type=int, default=None)
+    trace.add_argument("--issue-sample", type=int, default=16,
+                       help="record every Nth warp-issue slice (default 16)")
+    trace.add_argument("--mem-sample", type=int, default=4,
+                       help="trace every Nth memory request (default 4)")
+    trace.set_defaults(fn=cmd_trace)
 
     report = sub.add_parser("report")
     report.add_argument("out")
@@ -154,6 +269,11 @@ def main(argv=None) -> int:
                           help="comma-separated kernel names per mix")
     campaign.add_argument("--schemes", default="ws,ws-dmil")
     campaign.add_argument("--workers", type=int, default=None)
+    campaign.add_argument("--progress", action="store_true",
+                          help="print one heartbeat line per finished job")
+    campaign.add_argument("--obs", action="store_true",
+                          help="observe each cell; print a merged stall "
+                               "report after the table")
     campaign.set_defaults(fn=cmd_campaign)
 
     bench = sub.add_parser("bench")

@@ -149,12 +149,19 @@ class QuotaBMI(MemIssuePolicy):
             for est, r in zip(self.estimators, initial_req_per_minst):
                 est._estimate = max(1, min(MAX_REQ_PER_MINST, int(r)))
         self.quotas: List[int] = [0] * num_kernels
+        #: observability collector + SM id, wired by
+        #: ``Observability.attach`` (set before the initial replenish
+        #: below so the sentinel check is always valid).
+        self._obs = None
+        self._obs_key = 0
         self._replenish()
 
     def _replenish(self) -> None:
         fresh = compute_quotas([est.value for est in self.estimators])
         for i, quota in enumerate(fresh):
             self.quotas[i] += quota
+        if self._obs is not None:
+            self._obs.qbmi_replenish(self._obs_key, self.quotas)
 
     def pick(self, candidate_kernels: Sequence[int]) -> int:
         best_idx = max(range(len(candidate_kernels)),

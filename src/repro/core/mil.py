@@ -51,6 +51,10 @@ class MILG:
         #: None means unlimited (before the first window completes).
         self.limit: Optional[int] = None
         self.windows_completed = 0
+        #: observability collector + (sm, kernel) key, wired by
+        #: ``Observability.attach`` (None = zero-cost sentinel check).
+        self._obs = None
+        self._obs_key = None
 
     def observe_inflight(self, inflight: int) -> None:
         if inflight > self._peak_inflight:
@@ -79,6 +83,9 @@ class MILG:
         self._peak_inflight = current_inflight
         self._rsfails = 0
         self._requests = 0
+        if self._obs is not None:
+            self._obs.mil_update(self._obs_key, self.limit,
+                                 self.windows_completed)
 
     @staticmethod
     def hardware_cost() -> Dict[str, int]:

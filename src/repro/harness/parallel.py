@@ -31,13 +31,15 @@ serial loop with identical results.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cke.warped_slicer import ScalabilityCurve
 from repro.harness.runner import (ExperimentRunner, IsoRecord,
                                   RunnerSettings, WorkloadOutcome)
+from repro.obs.telemetry import JobHeartbeat
 from repro.workloads.mixes import WorkloadMix
 from repro.workloads.profiles import get_profile
 
@@ -65,11 +67,18 @@ class CurveJob:
 
 @dataclass(frozen=True)
 class MixJob:
-    """One concurrent mix under one scheme."""
+    """One concurrent mix under one scheme.
+
+    ``obs=True`` runs the cell with the observability layer attached:
+    the outcome's ``result.obs`` carries a picklable
+    :class:`~repro.obs.collector.ObsReport` (stall taxonomy + counter
+    snapshot) back across the worker boundary, mergeable in the parent
+    with ``ObsReport.merged``."""
 
     kernels: Tuple[str, ...]
     scheme: str = "ws"
     cycles: Optional[int] = None
+    obs: bool = False
 
 
 Job = Union[IsoJob, CurveJob, MixJob]
@@ -123,6 +132,14 @@ def _run_job_in_worker(job: Job):
     return execute_job(_WORKER_RUNNER, job)
 
 
+def _run_job_in_worker_timed(job: Job):
+    """Like :func:`_run_job_in_worker` but also reports the worker-side
+    wall-clock seconds, for campaign telemetry heartbeats."""
+    start = time.perf_counter()
+    result = execute_job(_WORKER_RUNNER, job)
+    return result, time.perf_counter() - start
+
+
 def execute_job(runner: ExperimentRunner, job: Job):
     """Run one job on ``runner`` (shared by workers and serial mode)."""
     if isinstance(job, IsoJob):
@@ -131,7 +148,8 @@ def execute_job(runner: ExperimentRunner, job: Job):
         return runner.curve(get_profile(job.kernel))
     if isinstance(job, MixJob):
         mix = WorkloadMix(tuple(get_profile(k) for k in job.kernels))
-        return runner.run_mix(mix, job.scheme, cycles=job.cycles)
+        return runner.run_mix(mix, job.scheme, cycles=job.cycles,
+                              obs=job.obs or None)
     raise TypeError(f"unknown job type {type(job).__name__}")
 
 
@@ -178,23 +196,102 @@ def _seed_payload(runner: ExperimentRunner):
 
 
 # ----------------------------------------------------------------------
+# telemetry helpers
+_CACHE_MISS = object()
+
+#: per-finished-job progress callback (campaign telemetry).
+ProgressFn = Callable[[JobHeartbeat], None]
+
+
+def _probe_cache(runner: ExperimentRunner, job: Job):
+    """The parent-side cached result for ``job``, or ``_CACHE_MISS``.
+    Used by the telemetry path to flag cache hits before dispatch."""
+    if isinstance(job, IsoJob):
+        tbs = job.tbs
+        if tbs is None:
+            tbs = get_profile(job.kernel).max_tbs_per_sm(runner.config)
+        cycles = job.cycles or runner.settings.iso_cycles
+        key = runner._iso_key(job.kernel, tbs, cycles)
+        return runner._iso_cache.get(key, _CACHE_MISS)
+    if isinstance(job, CurveJob):
+        key = (runner._cfg_key, job.kernel, runner.settings.curve_cycles,
+               runner.settings.seed, _cache_version())
+        return runner._curve_cache.get(key, _CACHE_MISS)
+    return _CACHE_MISS
+
+
+def _job_label(job: Job) -> str:
+    if isinstance(job, IsoJob):
+        return f"iso {job.kernel}" + (f" tbs={job.tbs}" if job.tbs else "")
+    if isinstance(job, CurveJob):
+        return f"curve {job.kernel}"
+    if isinstance(job, MixJob):
+        return f"mix {job.scheme} {'+'.join(job.kernels)}"
+    return repr(job)
+
+
+def _job_cycles(runner: ExperimentRunner, job: Job) -> int:
+    """Simulated-cycle budget of one job (for cycles/sec telemetry)."""
+    settings = runner.settings
+    if isinstance(job, IsoJob):
+        return job.cycles or settings.iso_cycles
+    if isinstance(job, CurveJob):
+        points = get_profile(job.kernel).max_tbs_per_sm(runner.config)
+        return points * settings.curve_cycles
+    if isinstance(job, MixJob):
+        return job.cycles or settings.concurrent_cycles
+    return 0
+
+
+# ----------------------------------------------------------------------
 # batch execution
 def run_jobs(runner: ExperimentRunner, jobs: Sequence[Job],
-             workers: Optional[int] = None, chunksize: int = 1) -> List:
+             workers: Optional[int] = None, chunksize: int = 1,
+             progress: Optional[ProgressFn] = None) -> List:
     """Execute ``jobs`` and return their results in input order.
 
     Identical jobs are executed once.  ``IsoJob`` / ``CurveJob``
     results are installed into ``runner``'s in-memory caches (and, via
     the workers, the shared disk cache), so subsequent serial calls hit
-    the cache.  Falls back to an in-process serial loop when the pool
-    is unavailable or ``workers`` resolves to 1.
+    the cache.  The pool is capped at the machine's CPU count (more
+    processes than cores only add overhead to CPU-bound jobs); it falls
+    back to an in-process serial loop when the pool is unavailable or
+    the cap resolves to 1.
+
+    ``progress`` receives one :class:`JobHeartbeat` per finished unique
+    job, in completion order, from the dispatching thread; results are
+    unaffected by its presence.
     """
     pool_cfg = PoolConfig(workers=workers, chunksize=chunksize)
     unique: List[Job] = list(dict.fromkeys(jobs))
     if not unique:
         return []
-    nworkers = min(pool_cfg.resolved_workers(), len(unique))
     results: Dict[Job, object] = {}
+    total = len(unique)
+    pending = unique
+    if progress is not None:
+        # Flag parent-side cache hits up front: they cost nothing, so
+        # heartbeat them immediately and dispatch only the real work.
+        pending = []
+        done = 0
+        for job in unique:
+            cached = _probe_cache(runner, job)
+            if cached is _CACHE_MISS:
+                pending.append(job)
+            else:
+                results[job] = cached
+                done += 1
+                progress(JobHeartbeat(
+                    index=done, total=total, label=_job_label(job),
+                    duration_s=0.0, sim_cycles=_job_cycles(runner, job),
+                    cache_hit=True))
+    # Cap the pool at the machine's CPU count: extra processes beyond
+    # that cannot run concurrently, so oversubscribing only adds spawn,
+    # pickle, and scheduling overhead to a CPU-bound campaign.
+    nworkers = (min(pool_cfg.resolved_workers(), len(pending),
+                    os.cpu_count() or 1)
+                if pending else 0)
+    pool_failed = False
     if nworkers > 1:
         try:
             iso_seed, curve_seed = _seed_payload(runner)
@@ -204,27 +301,58 @@ def run_jobs(runner: ExperimentRunner, jobs: Sequence[Job],
                     initargs=(runner.config, runner.settings,
                               runner.cache_dir, iso_seed, curve_seed),
             ) as pool:
-                for job, result in zip(
-                        unique,
-                        pool.map(_run_job_in_worker, unique,
-                                 chunksize=max(1, pool_cfg.chunksize))):
-                    results[job] = result
+                if progress is None:
+                    for job, result in zip(
+                            pending,
+                            pool.map(_run_job_in_worker, pending,
+                                     chunksize=max(1, pool_cfg.chunksize))):
+                        results[job] = result
+                else:
+                    futures = {pool.submit(_run_job_in_worker_timed, job): job
+                               for job in pending}
+                    done = total - len(pending)
+                    not_done = set(futures)
+                    while not_done:
+                        finished, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED)
+                        for future in finished:
+                            job = futures[future]
+                            result, duration = future.result()
+                            results[job] = result
+                            done += 1
+                            progress(JobHeartbeat(
+                                index=done, total=total,
+                                label=_job_label(job), duration_s=duration,
+                                sim_cycles=_job_cycles(runner, job)))
         except (OSError, ValueError, RuntimeError, ImportError):
             # No usable multiprocessing here (restricted sandbox, dead
             # workers, ...): degrade to the serial path below.
-            results.clear()
-    if not results:
-        for job in unique:
+            for job in pending:
+                results.pop(job, None)
+            pool_failed = True
+    if pool_failed or nworkers <= 1:
+        done = total - len(pending)
+        for job in pending:
+            if job in results:
+                continue
+            start = time.perf_counter()
             results[job] = execute_job(runner, job)
+            if progress is not None:
+                done += 1
+                progress(JobHeartbeat(
+                    index=done, total=total, label=_job_label(job),
+                    duration_s=time.perf_counter() - start,
+                    sim_cycles=_job_cycles(runner, job)))
     for job in unique:
         _absorb(runner, job, results[job])
     return [results[job] for job in jobs]
 
 
 def campaign_jobs(mixes: Sequence[WorkloadMix], schemes: Sequence[str],
-                  cycles: Optional[int] = None) -> List[MixJob]:
+                  cycles: Optional[int] = None,
+                  obs: bool = False) -> List[MixJob]:
     """The mix-major grid of cells for a mixes×schemes campaign."""
-    return [MixJob(tuple(p.name for p in mix.profiles), scheme, cycles)
+    return [MixJob(tuple(p.name for p in mix.profiles), scheme, cycles, obs)
             for mix in mixes for scheme in schemes]
 
 
@@ -244,15 +372,21 @@ def prefetch_jobs(mixes: Sequence[WorkloadMix],
 def run_campaign(runner: ExperimentRunner, mixes: Sequence[WorkloadMix],
                  schemes: Sequence[str], workers: Optional[int] = None,
                  cycles: Optional[int] = None,
-                 chunksize: int = 1) -> List[WorkloadOutcome]:
+                 chunksize: int = 1, obs: bool = False,
+                 progress: Optional[ProgressFn] = None
+                 ) -> List[WorkloadOutcome]:
     """Run the full mixes×schemes grid, in parallel, in two phases.
 
     Phase 1 computes the shared inputs (isolated runs, curves) once and
     installs them everywhere; phase 2 fans the grid cells out, each
     worker pre-seeded with phase 1's results.  Outcomes come back in
     mix-major grid order, bit-identical to the serial loop.
+
+    ``obs=True`` runs every cell observed (stall-attribution report on
+    each outcome's ``result.obs``); ``progress`` receives live
+    :class:`JobHeartbeat` telemetry from both phases.
     """
     run_jobs(runner, prefetch_jobs(mixes, schemes), workers=workers,
-             chunksize=chunksize)
-    return run_jobs(runner, campaign_jobs(mixes, schemes, cycles),
-                    workers=workers, chunksize=chunksize)
+             chunksize=chunksize, progress=progress)
+    return run_jobs(runner, campaign_jobs(mixes, schemes, cycles, obs=obs),
+                    workers=workers, chunksize=chunksize, progress=progress)

@@ -234,23 +234,31 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     # parallel campaigns (see repro.harness.parallel)
-    def prefetch(self, jobs, workers: Optional[int] = None) -> None:
+    def prefetch(self, jobs, workers: Optional[int] = None,
+                 progress=None) -> None:
         """Execute a batch of jobs (``IsoJob``/``CurveJob``/``MixJob``)
         in parallel and install the cacheable results, so subsequent
         serial calls are cache hits."""
         from repro.harness.parallel import run_jobs
-        run_jobs(self, jobs, workers=workers)
+        run_jobs(self, jobs, workers=workers, progress=progress)
 
     def run_campaign(self, mixes: Sequence[WorkloadMix],
                      schemes: Sequence[str],
                      workers: Optional[int] = None,
-                     cycles: Optional[int] = None) -> List[WorkloadOutcome]:
+                     cycles: Optional[int] = None,
+                     obs: bool = False,
+                     progress=None) -> List[WorkloadOutcome]:
         """Run every mix under every scheme, fanned over worker
         processes; outcomes in mix-major grid order, bit-identical to
-        the serial loop."""
+        the serial loop.
+
+        ``obs=True`` attaches a stall-attribution report to every
+        cell's result; ``progress`` (e.g. a
+        :class:`~repro.obs.telemetry.CampaignTelemetry`) receives one
+        :class:`~repro.obs.telemetry.JobHeartbeat` per finished job."""
         from repro.harness.parallel import run_campaign
         return run_campaign(self, mixes, schemes, workers=workers,
-                            cycles=cycles)
+                            cycles=cycles, obs=obs, progress=progress)
 
     # ------------------------------------------------------------------
     # scheme resolution
@@ -328,26 +336,37 @@ class ExperimentRunner:
     def run_mix_with_stack(self, mix: WorkloadMix, stack: SchemeConfig,
                            partition_scheme: str = "ws",
                            cycles: Optional[int] = None,
-                           timeline_interval: Optional[int] = None
-                           ) -> WorkloadOutcome:
+                           timeline_interval: Optional[int] = None,
+                           obs=None) -> WorkloadOutcome:
         """Run a workload with an explicit mechanism stack on top of a
         named TB-partitioning scheme — the hook ablation studies use
         for stacks the name grammar cannot express."""
         profiles = list(mix.profiles)
         tb_limits, masks, _ = self.resolve_scheme(partition_scheme, profiles)
         return self._run(mix, f"{partition_scheme}:{stack.describe()}",
-                         tb_limits, masks, stack, cycles, timeline_interval)
+                         tb_limits, masks, stack, cycles, timeline_interval,
+                         obs=obs)
 
     def run_mix(self, mix: WorkloadMix, scheme: str,
                 cycles: Optional[int] = None,
-                timeline_interval: Optional[int] = None) -> WorkloadOutcome:
-        """Run one workload under one scheme and compute the metrics."""
+                timeline_interval: Optional[int] = None,
+                obs=None) -> WorkloadOutcome:
+        """Run one workload under one scheme and compute the metrics.
+
+        ``obs`` enables observability for the concurrent run (``True``,
+        an ``ObsOptions`` or an ``Observability``); the outcome's
+        ``result.obs`` then carries the stall/trace report."""
         if scheme.lower().startswith("dws"):
+            if obs:
+                raise ValueError(
+                    "observability is not supported for dynamic "
+                    "Warped-Slicer runs (profiling phases re-launch "
+                    "the engine mid-run)")
             return self._run_dynamic_ws(mix, scheme, cycles)
         profiles = list(mix.profiles)
         tb_limits, masks, stack = self.resolve_scheme(scheme, profiles)
         return self._run(mix, scheme, tb_limits, masks, stack, cycles,
-                         timeline_interval)
+                         timeline_interval, obs=obs)
 
     def _run_dynamic_ws(self, mix: WorkloadMix, scheme: str,
                         cycles: Optional[int]) -> WorkloadOutcome:
@@ -381,12 +400,12 @@ class ExperimentRunner:
 
     def _run(self, mix: WorkloadMix, scheme_label: str, tb_limits, masks,
              stack: SchemeConfig, cycles: Optional[int],
-             timeline_interval: Optional[int]) -> WorkloadOutcome:
+             timeline_interval: Optional[int], obs=None) -> WorkloadOutcome:
         profiles = list(mix.profiles)
         launches = make_launches(profiles, tb_limits, self.config,
                                  sm_masks=masks, seed=self.settings.seed)
         gpu = GPU(self.config, launches, stack,
-                  timeline_interval=timeline_interval)
+                  timeline_interval=timeline_interval, obs=obs)
         result = gpu.run(cycles or self.settings.concurrent_cycles)
         iso = [self.isolated(p).ipc for p in profiles]
         # Spatial multitasking concentrates each kernel on a subset of

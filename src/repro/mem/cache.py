@@ -239,6 +239,13 @@ class L1DCache:
         self.mshrs = MSHRFile(config.mshrs, config.mshr_merge)
         self.miss_queue: Deque[object] = deque()
         self.stats = CacheStats()
+        #: bumped whenever a resource an ``access`` outcome depends on
+        #: is released *outside* ``access`` itself (a fill freeing the
+        #: line + MSHR, the subsystem draining a miss-queue slot).  The
+        #: LSU uses it to memoise a stalled request's replay verdict:
+        #: same request + same version (+ same way partition) must fail
+        #: the same way, so only the stats bumps need replaying.
+        self.version = 0
 
     @property
     def miss_queue_full(self) -> bool:
@@ -320,6 +327,7 @@ class L1DCache:
     def fill(self, line_addr: int) -> List[object]:
         """A fill returned from L2: complete the line and release the
         MSHR.  Returns the requests waiting on this line."""
+        self.version += 1
         self.tags.fill(line_addr)
         entry = self.mshrs.release(line_addr)
         return entry.waiters

@@ -38,7 +38,7 @@ class MemRequest:
     """One coalesced line request travelling through the hierarchy."""
 
     __slots__ = ("line", "kernel", "sm_id", "is_write", "meminst",
-                 "issued_cycle", "bypass")
+                 "issued_cycle", "bypass", "trace_id")
 
     def __init__(self, line: int, kernel: int, sm_id: int, is_write: bool,
                  meminst=None, issued_cycle: int = 0, bypass: bool = False):
@@ -52,6 +52,9 @@ class MemRequest:
         #: L1D-bypassed read: no L1 lookup/allocation/MSHR; the fill is
         #: delivered straight to the owning memory instruction (§4.5).
         self.bypass = bypass
+        #: Chrome-trace async-slice id while this request's lifetime is
+        #: being traced (observability; None = untraced).
+        self.trace_id = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "W" if self.is_write else "R"
@@ -61,8 +64,10 @@ class MemRequest:
 class MemorySubsystem:
     """Shared backend for all SMs: interconnect + L2 + DRAM."""
 
-    def __init__(self, config: GPUConfig, fastpath: bool = True):
+    def __init__(self, config: GPUConfig, fastpath: bool = True, obs=None):
         self.config = config
+        #: observability collector (None = zero-cost sentinel checks).
+        self._obs = obs
         self.l1s: List[L1DCache] = [L1DCache(config.l1d) for _ in range(config.num_sms)]
         self.icnt = Interconnect(config)
         self.l2_tags = SetAssocCache(config.l2)
@@ -211,6 +216,10 @@ class MemorySubsystem:
             if request.is_write:
                 self._l2_write(request)
                 self.l2_in.popleft()
+                if self._obs is not None:
+                    # WEWN stores carry no dependence: the lifetime
+                    # ends once the write reaches the L2 boundary.
+                    self._obs.mem_request_done(request, cycle)
                 continue
             if not self._l2_read(request, cycle):
                 self.l2_head_stall_cycles += 1
@@ -236,6 +245,8 @@ class MemorySubsystem:
             stats.accesses[kernel] += 1
             stats.hits[kernel] += 1
             self._schedule(cycle + self._l2_hit_latency, "rsp_ready", request)
+            if self._obs is not None:
+                self._obs.mem_request_stage(request, "l2:hit", cycle)
             return True
         if line is not None and line.reserved:
             if not self.l2_mshrs.can_merge(line_addr):
@@ -245,6 +256,8 @@ class MemorySubsystem:
             self.l2_mshrs.merge(line_addr, request)
             stats.accesses[kernel] += 1
             stats.misses[kernel] += 1
+            if self._obs is not None:
+                self._obs.mem_request_stage(request, "l2:miss_merged", cycle)
             return True
         # Primary L2 miss: MSHR + DRAM queue space + line reservation.
         if not self.l2_mshrs.can_allocate():
@@ -268,6 +281,8 @@ class MemorySubsystem:
             self.dram.enqueue_write(evicted_tag)
         stats.accesses[kernel] += 1
         stats.misses[kernel] += 1
+        if self._obs is not None:
+            self._obs.mem_request_stage(request, "l2:miss->dram", cycle)
         return True
 
     # ------------------------------------------------------------------
@@ -292,16 +307,21 @@ class MemorySubsystem:
             self._schedule(cycle + self._icnt_latency, "l1_fill", head)
 
     def _deliver_fill(self, request: MemRequest, cycle: int) -> None:
+        obs = self._obs
         if request.bypass:
             # Bypassed reads never allocated in the L1D: complete the
             # owning instruction directly.
             if request.meminst is not None:
                 request.meminst.request_done(cycle)
+            if obs is not None:
+                obs.mem_request_done(request, cycle)
             return
         waiters = self.l1s[request.sm_id].fill(request.line)
         for waiter in waiters:
             if waiter.meminst is not None:
                 waiter.meminst.request_done(cycle)
+            if obs is not None:
+                obs.mem_request_done(waiter, cycle)
 
     # ------------------------------------------------------------------
     # L1 miss queue drain (round-robin across SMs)
@@ -312,7 +332,8 @@ class MemorySubsystem:
         l1s = self.l1s
         icnt = self.icnt
         for offset in range(num):
-            queue = l1s[(start + offset) % num].miss_queue
+            l1 = l1s[(start + offset) % num]
+            queue = l1.miss_queue
             if not queue:
                 continue
             request = queue[0]
@@ -322,8 +343,11 @@ class MemorySubsystem:
             if not icnt.try_send_request(flits):
                 return
             queue.popleft()
+            l1.version += 1
             self._inflight_to_l2 += 1
             self._schedule(cycle + self._icnt_latency, "l2_arrive", request)
+            if self._obs is not None:
+                self._obs.mem_request_stage(request, "icnt:to_l2", cycle)
 
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

@@ -1,0 +1,74 @@
+"""Observability layer for the simulator and the experiment harness.
+
+The package turns the paper's "look inside the memory pipeline"
+methodology (§2.3–§2.4, Figures 3/6/8) into first-class, queryable
+instrumentation:
+
+* :mod:`repro.obs.registry` — a hierarchical counter/gauge registry
+  with dotted names (``sm0.sched2.issue.mil_capped``), snapshot-able
+  mid-run and mergeable across parallel campaign workers;
+* :mod:`repro.obs.stalls` — the stall-attribution taxonomy: every
+  cycle a warp scheduler fails to issue is classified (scoreboard,
+  LSU reservation failure by resource, BMI arbitration loss, MIL cap,
+  SMK quota gate, no-ready-warp, ...) into per-kernel/per-SM counters;
+* :mod:`repro.obs.trace` — a Chrome trace-event recorder (Perfetto /
+  ``chrome://tracing``) of warp issue slices, memory request lifetimes
+  and DMIL/QBMI quota-change instants, behind sampling controls;
+* :mod:`repro.obs.telemetry` — live heartbeat/progress telemetry for
+  parallel experiment campaigns;
+* :mod:`repro.obs.collector` — :class:`Observability`, the per-run
+  façade the engine wires through the SMs, schedulers, LSUs and the
+  memory backend.
+
+Everything is zero-cost when disabled: instrumentation hooks in the
+simulator's hot paths are sentinel-checked (``if self._obs is not
+None``) and the fast cycle loop stays bit-identical with observability
+off.  With observability *on*, the engine runs the reference per-cycle
+loop so stall attribution is exact — the simulated results are still
+bit-identical (the perf suite proves fast == reference on every run).
+"""
+
+from repro.obs.collector import Observability, ObsOptions, ObsReport
+from repro.obs.registry import Counter, CounterRegistry, Gauge
+from repro.obs.stalls import (
+    ISSUED,
+    LSU_STALL_REASONS,
+    SCHED_STALL_REASONS,
+    STALL_BMI_LOSS,
+    STALL_EXEC_PORT,
+    STALL_LSU_FULL,
+    STALL_MIL_CAPPED,
+    STALL_NO_WARP,
+    STALL_OTHER,
+    STALL_SCOREBOARD,
+    STALL_SMK_GATE,
+    StallTable,
+    format_stall_report,
+)
+from repro.obs.telemetry import CampaignTelemetry, JobHeartbeat
+from repro.obs.trace import TraceRecorder
+
+__all__ = [
+    "CampaignTelemetry",
+    "Counter",
+    "CounterRegistry",
+    "Gauge",
+    "ISSUED",
+    "JobHeartbeat",
+    "LSU_STALL_REASONS",
+    "Observability",
+    "ObsOptions",
+    "ObsReport",
+    "SCHED_STALL_REASONS",
+    "STALL_BMI_LOSS",
+    "STALL_EXEC_PORT",
+    "STALL_LSU_FULL",
+    "STALL_MIL_CAPPED",
+    "STALL_NO_WARP",
+    "STALL_OTHER",
+    "STALL_SCOREBOARD",
+    "STALL_SMK_GATE",
+    "StallTable",
+    "TraceRecorder",
+    "format_stall_report",
+]

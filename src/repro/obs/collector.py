@@ -1,0 +1,356 @@
+"""The per-run observability façade the engine wires into components.
+
+One :class:`Observability` instance lives on a :class:`~repro.sim.engine.GPU`
+built with ``obs=...``.  The engine hands it to the SMs, the LSUs, the
+memory subsystem and (via :meth:`Observability.attach`) the scheme
+mechanisms (DMIL's MILGs, QBMI); each hook site sentinel-checks its
+``_obs`` handle so the cost with observability off is one attribute
+test — the fast cycle loop stays bit-identical and inside the perf
+thresholds.
+
+At collection time :meth:`Observability.report` folds the live push
+counters together with the simulator's pull-based statistics (cache,
+LSU, interconnect, L2, DRAM) into one :class:`ObsReport` — a
+plain-data, picklable record that survives the parallel-campaign
+worker boundary and merges across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.registry import CounterRegistry, Number, aggregate, snapshot_tree
+from repro.obs.stalls import KERNEL_NONE, StallTable
+from repro.obs.trace import DEFAULT_MAX_EVENTS, TraceRecorder, write_trace_events
+
+#: registry names that merge as gauges (latest value) across workers.
+GAUGE_NAMES_HINT = ("*.limit", "*.rate", "engine.cycles")
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """What to record for one observed run."""
+
+    #: record a Chrome trace (warp issue slices, memory request
+    #: lifetimes, quota-change instants).
+    trace: bool = False
+    #: record every Nth warp-issue slice.
+    trace_issue_sample: int = 16
+    #: trace every Nth L1D request's lifetime.
+    trace_mem_sample: int = 4
+    #: hard cap on buffered trace events.
+    trace_max_events: int = DEFAULT_MAX_EVENTS
+
+
+class Observability:
+    """Live instrumentation state for one simulated run."""
+
+    def __init__(self, options: Optional[ObsOptions] = None):
+        self.options = options or ObsOptions()
+        self.registry = CounterRegistry()
+        self.stalls = StallTable()
+        self.trace: Optional[TraceRecorder] = None
+        if self.options.trace:
+            self.trace = TraceRecorder(
+                max_events=self.options.trace_max_events,
+                issue_sample=self.options.trace_issue_sample,
+                mem_sample=self.options.trace_mem_sample)
+
+    # ------------------------------------------------------------------
+    # wiring
+    def attach(self, gpu) -> None:
+        """Hook the mechanisms the engine cannot reach at construction
+        time: DMIL's MILGs and QBMI's quota machinery (duck-typed so
+        this module never imports the scheme classes)."""
+        for sm in gpu.sms:
+            bundle = sm.bundle
+            limiter = bundle.limiter
+            # Global DMIL: instrument the shared core once (monitor SM).
+            core = getattr(limiter, "shared", limiter)
+            milgs = getattr(core, "milgs", None)
+            if milgs is not None:
+                for kernel, milg in enumerate(milgs):
+                    if milg._obs is None:
+                        milg._obs = self
+                        milg._obs_key = (sm.sm_id, kernel)
+            policy = bundle.mem_policy
+            if hasattr(policy, "_obs") and policy._obs is None:
+                policy._obs = self
+                policy._obs_key = sm.sm_id
+            if self.trace is not None:
+                self.trace.name_process(sm.sm_id, f"SM {sm.sm_id}")
+                for sched in sm.schedulers:
+                    self.trace.name_thread(sm.sm_id, sched.sched_id,
+                                           f"sched {sched.sched_id}")
+
+    # ------------------------------------------------------------------
+    # hot-path hooks (every caller sentinel-checks `_obs is not None`)
+    def lsu_rsfail(self, sm_id: int, kernel: int, reason: str,
+                   cycle: int) -> None:
+        """One stalled LSU cycle attributed to the failing resource."""
+        self.stalls.bump_lsu(sm_id, kernel, reason)
+
+    def issue_event(self, sm_id: int, sched_id: int, kernel: int, op: str,
+                    cycle: int) -> None:
+        """A warp instruction issued (trace slice, sampled)."""
+        trace = self.trace
+        if trace is not None and trace.want_issue():
+            trace.complete(op, "issue", sm_id, sched_id, cycle, 1,
+                           args={"kernel": kernel})
+
+    def mem_request_created(self, request, cycle: int) -> None:
+        """The LSU materialised a new L1D request; maybe start tracing
+        its lifetime."""
+        trace = self.trace
+        if trace is None:
+            return
+        event_id = trace.next_mem_id()
+        if event_id is None:
+            return
+        request.trace_id = event_id
+        kind = "store" if request.is_write else "load"
+        trace.async_begin(f"mem:{kind}", "mem", request.sm_id, event_id,
+                          cycle, args={"kernel": request.kernel,
+                                       "line": request.line})
+
+    def mem_request_l1(self, request, result: str, cycle: int) -> None:
+        """A traced request's L1D outcome (hit / miss / bypass)."""
+        trace = self.trace
+        if trace is None or request.trace_id is None:
+            return
+        trace.async_instant(f"l1d:{result}", "mem", request.sm_id,
+                            request.trace_id, cycle)
+        if result == "hit":
+            trace.async_end("mem:load", "mem", request.sm_id,
+                            request.trace_id, cycle)
+            request.trace_id = None
+
+    def mem_request_stage(self, request, stage: str, cycle: int) -> None:
+        """A traced request reached a backend stage (to-L2, L2 hit/miss,
+        DRAM enqueue, ...)."""
+        trace = self.trace
+        if trace is None or request.trace_id is None:
+            return
+        trace.async_instant(stage, "mem", request.sm_id, request.trace_id,
+                            cycle)
+
+    def mem_request_done(self, request, cycle: int) -> None:
+        """A traced request's data came back (or its write drained)."""
+        trace = self.trace
+        if trace is None or request.trace_id is None:
+            return
+        kind = "store" if request.is_write else "load"
+        trace.async_end(f"mem:{kind}", "mem", request.sm_id,
+                        request.trace_id, cycle)
+        request.trace_id = None
+
+    def mil_update(self, key: Tuple[int, int], limit: Optional[int],
+                   windows: int) -> None:
+        """A MILG recomputed its in-flight limit (DMIL quota change)."""
+        sm_id, kernel = key
+        scope = self.registry.scoped(f"sm{sm_id}.mil.k{kernel}")
+        scope.counter("recomputes").add()
+        scope.gauge("limit").set(-1 if limit is None else limit)
+        trace = self.trace
+        if trace is not None:
+            shown = -1 if limit is None else limit
+            trace.instant("dmil:limit", "quota", sm_id, windows,
+                          args={"kernel": kernel, "limit": shown})
+            trace.counter(f"dmil limit k{kernel}", sm_id, windows,
+                          {"limit": float(shown)})
+
+    def qbmi_replenish(self, sm_id: int, quotas: Sequence[int]) -> None:
+        """QBMI re-armed its per-kernel quota set."""
+        self.registry.counter(f"sm{sm_id}.bmi.replenishes").add()
+        trace = self.trace
+        if trace is not None:
+            trace.instant("qbmi:replenish", "quota", sm_id, 0,
+                          args={"quotas": list(quotas)})
+
+    # ------------------------------------------------------------------
+    # collection
+    def report(self, gpu) -> "ObsReport":
+        """Snapshot everything into a plain-data report.  Callable
+        mid-run (the registry folding is pull-based) or at the end."""
+        cfg = gpu.config
+        registry = self.registry
+        # Fold the simulator's pull-based statistics into the registry
+        # hierarchy so one snapshot answers "what happened where".
+        registry.set("engine.cycles", gpu.cycles_run)
+        for sm in gpu.sms:
+            scope = registry.scoped(f"sm{sm.sm_id}")
+            lsu_scope = scope.scoped("lsu")
+            lsu_scope.gauge("stall_cycles").set(sm.lsu.stall_cycles)
+            lsu_scope.gauge("busy_cycles").set(sm.lsu.busy_cycles)
+            l1_scope = scope.scoped("l1d")
+            stats = sm.l1.stats
+            for kernel, value in stats.accesses.items():
+                l1_scope.gauge(f"accesses.k{kernel}").set(value)
+            for kernel, value in stats.hits.items():
+                l1_scope.gauge(f"hits.k{kernel}").set(value)
+            for kernel, value in stats.misses.items():
+                l1_scope.gauge(f"misses.k{kernel}").set(value)
+            for kernel, value in stats.rsfails.items():
+                l1_scope.gauge(f"rsfails.k{kernel}").set(value)
+            for reason, value in stats.rsfail_reasons.items():
+                l1_scope.gauge(f"rsfail_reasons.{reason}").set(value)
+        memory = gpu.memory
+        l2_scope = registry.scoped("l2")
+        for kernel, value in memory.l2_stats.accesses.items():
+            l2_scope.gauge(f"accesses.k{kernel}").set(value)
+        for kernel, value in memory.l2_stats.misses.items():
+            l2_scope.gauge(f"misses.k{kernel}").set(value)
+        for kernel, value in memory.l2_stats.writes.items():
+            l2_scope.gauge(f"writes.k{kernel}").set(value)
+        l2_scope.gauge("head_stall_cycles").set(memory.l2_head_stall_cycles)
+        icnt_scope = registry.scoped("icnt")
+        icnt_scope.gauge("req_flits").set(memory.icnt.req_flits_sent)
+        icnt_scope.gauge("rsp_flits").set(memory.icnt.rsp_flits_sent)
+        dram_scope = registry.scoped("dram")
+        dram_scope.gauge("serviced").set(memory.dram.total_serviced())
+        dram_scope.gauge("row_hit_rate").set(memory.dram.row_hit_rate())
+        # Fold the stall table under per-scheduler dotted names
+        # (summed over kernels; per-kernel machine-wide views too).
+        folded: Dict[str, Number] = {}
+        for (sm_id, sched_id, kernel, reason), v in self.stalls.sched.items():
+            _refold(folded, f"sm{sm_id}.sched{sched_id}.issue.{reason}", v)
+            if kernel != KERNEL_NONE:
+                _refold(folded, f"kernel{kernel}.stall.{reason}", v)
+        for (sm_id, kernel, reason), v in self.stalls.lsu.items():
+            _refold(folded, f"sm{sm_id}.lsu.{reason}.k{kernel}", v)
+        for name, v in folded.items():
+            registry.set(name, v)
+
+        return ObsReport(
+            cycles=gpu.cycles_run,
+            num_sms=cfg.num_sms,
+            schedulers_per_sm=cfg.schedulers_per_sm,
+            kernel_names=[launch.profile.name for launch in gpu.launches],
+            counters=registry.snapshot(),
+            sched_stalls=dict(self.stalls.sched),
+            lsu_stalls=dict(self.stalls.lsu),
+            trace_events=(list(self.trace.events)
+                          if self.trace is not None else None),
+            trace_dropped=(self.trace.dropped
+                           if self.trace is not None else 0),
+        )
+
+
+def _refold(registry_names: Dict[str, Number], name: str, v: Number) -> None:
+    registry_names[name] = registry_names.get(name, 0) + v
+
+
+@dataclass
+class ObsReport:
+    """Plain-data snapshot of one (or several merged) observed runs.
+
+    Every field pickles, so reports ride inside
+    :class:`~repro.sim.stats.RunResult` across the parallel-campaign
+    worker boundary and merge in the parent with :meth:`merged`.
+    """
+
+    cycles: int
+    num_sms: int
+    schedulers_per_sm: int
+    kernel_names: List[str]
+    #: flat dotted-name registry snapshot.
+    counters: Dict[str, Number] = field(default_factory=dict)
+    #: (sm, sched, kernel, reason) -> count
+    sched_stalls: Dict[Tuple[int, int, int, str], int] = field(
+        default_factory=dict)
+    #: (sm, kernel, reason) -> stalled LSU cycles
+    lsu_stalls: Dict[Tuple[int, int, str], int] = field(default_factory=dict)
+    trace_events: Optional[List[Dict[str, object]]] = None
+    trace_dropped: int = 0
+
+    # ------------------------------------------------------------------
+    def stall_table(self) -> StallTable:
+        table = StallTable()
+        table.sched.update(self.sched_stalls)
+        table.lsu.update(self.lsu_stalls)
+        return table
+
+    def issue_slots(self) -> int:
+        return self.cycles * self.num_sms * self.schedulers_per_sm
+
+    def kernel_label(self, slot: int) -> str:
+        if 0 <= slot < len(self.kernel_names):
+            return f"{self.kernel_names[slot]}#{slot}"
+        return f"k{slot}"
+
+    def lsu_stall_share(self) -> float:
+        """Stalled-LSU-cycle share of SM-cycles — matches
+        ``RunResult.lsu_stall_pct()`` exactly (one taxonomy entry is
+        recorded per stalled LSU cycle)."""
+        denom = self.cycles * self.num_sms
+        return sum(self.lsu_stalls.values()) / denom if denom else 0.0
+
+    def sched_stall_shares(self,
+                           kernel: Optional[int] = None) -> Dict[str, float]:
+        """Scheduler outcome shares of the total issue slots."""
+        slots = self.issue_slots()
+        if not slots:
+            return {}
+        table = self.stall_table()
+        return {reason: count / slots
+                for reason, count in table.sched_by_reason(kernel).items()}
+
+    def total(self, pattern: str) -> Number:
+        """Aggregate the counter snapshot over an ``fnmatch`` pattern."""
+        return aggregate(self.counters, pattern)
+
+    def tree(self) -> Dict[str, object]:
+        return snapshot_tree(self.counters)
+
+    def write_trace(self, path: str) -> None:
+        if self.trace_events is None:
+            raise ValueError("this report carries no trace "
+                             "(run with ObsOptions(trace=True))")
+        write_trace_events(path, self.trace_events, self.trace_dropped)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merged(reports: Sequence["ObsReport"]) -> "ObsReport":
+        """Combine reports from parallel campaign cells/workers:
+        stall counts and counters accumulate, cycle totals add, kernel
+        names keep the first report's labels."""
+        if not reports:
+            raise ValueError("need at least one report")
+        first = reports[0]
+        out = ObsReport(
+            cycles=0,
+            num_sms=first.num_sms,
+            schedulers_per_sm=first.schedulers_per_sm,
+            kernel_names=list(first.kernel_names),
+        )
+        for report in reports:
+            out.cycles += report.cycles
+            for key, v in report.sched_stalls.items():
+                out.sched_stalls[key] = out.sched_stalls.get(key, 0) + v
+            for key, v in report.lsu_stalls.items():
+                out.lsu_stalls[key] = out.lsu_stalls.get(key, 0) + v
+            for name, v in report.counters.items():
+                out.counters[name] = out.counters.get(name, 0) + v
+            out.trace_dropped += report.trace_dropped
+        return out
+
+
+#: accepted spellings for "turn observability on" at API boundaries.
+ObsLike = Union[None, bool, ObsOptions, Observability]
+
+
+def resolve_obs(obs: ObsLike) -> Optional[Observability]:
+    """Normalise the ``obs=`` argument accepted by the engine/runner:
+    ``None``/``False`` → off, ``True`` → default options, an
+    :class:`ObsOptions` → fresh collector, an :class:`Observability` →
+    used as-is."""
+    if obs is None or obs is False:
+        return None
+    if obs is True:
+        return Observability()
+    if isinstance(obs, ObsOptions):
+        return Observability(obs)
+    if isinstance(obs, Observability):
+        return obs
+    raise TypeError(f"cannot interpret obs={obs!r}")

@@ -1,0 +1,176 @@
+"""Chrome trace-event recorder (Perfetto / ``chrome://tracing``).
+
+Emits the JSON-object variant of the Trace Event Format:
+``{"traceEvents": [...], "displayTimeUnit": "ms"}``.  One simulated
+core cycle maps to one microsecond of trace time, so a 10K-cycle run
+renders as a 10 ms timeline.
+
+Event kinds used by the simulator:
+
+* ``ph:"X"`` complete slices for warp issue events (pid = SM,
+  tid = scheduler), behind ``issue_sample`` (record every Nth issue);
+* ``ph:"b"/"n"/"e"`` async slices for memory request lifetimes
+  (issue → L1D outcome → to-L2 → L2 hit/miss → DRAM → fill delivery /
+  writeback), behind ``mem_sample`` (trace every Nth L1D request);
+* ``ph:"i"`` instants for DMIL limit recomputations and QBMI quota
+  replenishments;
+* ``ph:"C"`` counter events for sampled quantities (e.g. the DMIL
+  limit over time);
+* ``ph:"M"`` metadata naming the SM "processes" and scheduler
+  "threads".
+
+``max_events`` caps the buffer; once full, further events are counted
+in ``dropped`` instead of recorded, so a long traced run degrades
+gracefully rather than exhausting memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: default buffer cap — ~40MB of JSON worst case, loads fine in Perfetto.
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class TraceRecorder:
+    """Buffered trace-event sink with sampling controls."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS,
+                 issue_sample: int = 1, mem_sample: int = 1):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        if issue_sample < 1 or mem_sample < 1:
+            raise ValueError("sampling intervals must be >= 1")
+        self.max_events = max_events
+        self.issue_sample = issue_sample
+        self.mem_sample = mem_sample
+        self.events: List[Dict[str, object]] = []
+        self.dropped = 0
+        self._issue_seen = 0
+        self._mem_seen = 0
+        self._next_async_id = 0
+        self._named_pids: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # sampling decisions
+    def want_issue(self) -> bool:
+        """True when the next warp-issue event should be recorded."""
+        self._issue_seen += 1
+        return (self._issue_seen % self.issue_sample) == 0
+
+    def next_mem_id(self) -> Optional[int]:
+        """Async-slice id for the next memory request, or ``None`` when
+        the request falls outside the sampling interval / buffer cap."""
+        self._mem_seen += 1
+        if (self._mem_seen % self.mem_sample) != 0:
+            return None
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return None
+        self._next_async_id += 1
+        return self._next_async_id
+
+    # ------------------------------------------------------------------
+    # event emission
+    def _add(self, event: Dict[str, object]) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Emit the metadata event labelling ``pid`` (once per pid)."""
+        if self._named_pids.get(pid):
+            return
+        self._named_pids[pid] = True
+        self._add({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                   "args": {"name": name}})
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        self._add({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                   "args": {"name": name}})
+
+    def complete(self, name: str, cat: str, pid: int, tid: int, ts: int,
+                 dur: int, args: Optional[Dict[str, object]] = None) -> None:
+        event: Dict[str, object] = {"ph": "X", "name": name, "cat": cat,
+                                    "pid": pid, "tid": tid, "ts": ts,
+                                    "dur": dur}
+        if args:
+            event["args"] = args
+        self._add(event)
+
+    def instant(self, name: str, cat: str, pid: int, ts: int,
+                args: Optional[Dict[str, object]] = None,
+                tid: int = 0) -> None:
+        event: Dict[str, object] = {"ph": "i", "name": name, "cat": cat,
+                                    "pid": pid, "tid": tid, "ts": ts,
+                                    "s": "t"}
+        if args:
+            event["args"] = args
+        self._add(event)
+
+    def counter(self, name: str, pid: int, ts: int,
+                values: Dict[str, float]) -> None:
+        self._add({"ph": "C", "name": name, "pid": pid, "tid": 0, "ts": ts,
+                   "args": dict(values)})
+
+    def async_begin(self, name: str, cat: str, pid: int, event_id: int,
+                    ts: int, args: Optional[Dict[str, object]] = None) -> None:
+        event: Dict[str, object] = {"ph": "b", "name": name, "cat": cat,
+                                    "pid": pid, "tid": 0, "ts": ts,
+                                    "id": event_id}
+        if args:
+            event["args"] = args
+        self._add(event)
+
+    def async_instant(self, name: str, cat: str, pid: int, event_id: int,
+                      ts: int,
+                      args: Optional[Dict[str, object]] = None) -> None:
+        event: Dict[str, object] = {"ph": "n", "name": name, "cat": cat,
+                                    "pid": pid, "tid": 0, "ts": ts,
+                                    "id": event_id}
+        if args:
+            event["args"] = args
+        self._add(event)
+
+    def async_end(self, name: str, cat: str, pid: int, event_id: int,
+                  ts: int) -> None:
+        self._add({"ph": "e", "name": name, "cat": cat, "pid": pid,
+                   "tid": 0, "ts": ts, "id": event_id})
+
+    # ------------------------------------------------------------------
+    # export
+    def to_json_obj(self) -> Dict[str, object]:
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro simulator",
+                "time_unit": "1 core cycle = 1us",
+                "dropped_events": self.dropped,
+                "issue_sample": self.issue_sample,
+                "mem_sample": self.mem_sample,
+            },
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json_obj(), fh)
+            fh.write("\n")
+
+
+def write_trace_events(path: str, events: List[Dict[str, object]],
+                       dropped: int = 0) -> None:
+    """Write an already-collected event list (e.g. carried inside a
+    pickled :class:`~repro.obs.collector.ObsReport`) as a loadable
+    Chrome trace JSON file."""
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro simulator",
+                      "dropped_events": dropped},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")

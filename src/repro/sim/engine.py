@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set, Union
 from repro.config import GPUConfig
 from repro.core.arbiter import SchemeConfig
 from repro.mem.subsystem import MemorySubsystem
+from repro.obs.collector import ObsLike, resolve_obs
 from repro.sim.sm import StreamingMultiprocessor
 from repro.sim.stats import KernelStats, RunResult, TimelineRecorder
 from repro.workloads.kernel import InstructionStream, KernelProfile
@@ -84,21 +85,35 @@ class GPU:
     hints and the memory-subsystem idle skip — forcing the reference
     per-cycle scan everywhere.  Both modes produce bit-identical
     results; the perf suite asserts this on every run.
+
+    ``obs`` enables the observability layer (``True``, an
+    :class:`~repro.obs.ObsOptions`, or a prepared
+    :class:`~repro.obs.Observability`).  Observed runs use the
+    reference per-cycle loop so stall attribution is exact — simulated
+    results stay bit-identical to an unobserved run.
     """
 
     def __init__(self, config: GPUConfig, launches: List[KernelLaunch],
                  scheme: Optional[SchemeConfig] = None,
                  timeline_interval: Optional[int] = None,
-                 reference: Optional[bool] = None):
+                 reference: Optional[bool] = None,
+                 obs: ObsLike = None):
         if not launches:
             raise ValueError("need at least one kernel launch")
+        self.obs = resolve_obs(obs)
+        if self.obs is not None:
+            # Per-cycle stall attribution requires every cycle to be
+            # ticked: the fast loop's sleep hints skip exactly the
+            # cycles whose non-issue the taxonomy must classify.
+            reference = True
         if reference is None:
             reference = os.environ.get("REPRO_REFERENCE_LOOP", "") == "1"
         self.reference = reference
         self.config = config
         self.launches = launches
         self.scheme = scheme or SchemeConfig()
-        self.memory = MemorySubsystem(config, fastpath=not reference)
+        self.memory = MemorySubsystem(config, fastpath=not reference,
+                                      obs=self.obs)
         self.timeline = (TimelineRecorder(timeline_interval)
                          if timeline_interval else None)
         self.kernel_stats: Dict[int, KernelStats] = {
@@ -113,8 +128,11 @@ class GPU:
                                        sm_id=sm_id)
             self.sms.append(StreamingMultiprocessor(
                 sm_id, config, l1, launches, bundle,
-                self.kernel_stats, self.timeline, fastpath=not reference))
+                self.kernel_stats, self.timeline, fastpath=not reference,
+                obs=self.obs))
         self.cycles_run = 0
+        if self.obs is not None:
+            self.obs.attach(self)
 
     def set_tb_limit(self, sm_id: int, slot: int, limit: int) -> None:
         """Reconfigure one kernel's TB cap on one SM at runtime
@@ -226,4 +244,6 @@ class GPU:
             icnt_flits=self.memory.icnt.req_flits_sent
                        + self.memory.icnt.rsp_flits_sent,
         )
+        if self.obs is not None:
+            result.obs = self.obs.report(self)
         return result

@@ -40,12 +40,24 @@ class LoadStoreUnit:
         self.width = width
         self.queue: Deque[MemInst] = deque()
         self._current_request: Optional[MemRequest] = None
+        #: (request, l1.version, l1.tags.partition, result) of the last
+        #: reservation failure.  While the head request, the cache
+        #: version, and the partition object are all unchanged, a replay
+        #: must fail identically — every RSFAIL path in ``L1DCache
+        #: .access`` is pure apart from its two stats bumps — so the
+        #: lookup can be skipped and only the stats replayed.  Fast
+        #: loop only: the reference loop keeps the plain replay the
+        #: memo is validated against (the SM clears the flag).
+        self._stall_memo = None
+        self.use_stall_memo = True
         self.stall_cycles = 0
         self.busy_cycles = 0
         #: kernel -> L1D-bypass verdict, filled in by the owning SM
         #: (the scheme's bypass set is fixed for the whole run).  When
         #: None, fall back to asking the SM's bundle per request.
         self.bypass_by_kernel = None
+        #: observability collector (set by the owning SM; None = off).
+        self._obs = None
 
     def can_accept(self) -> bool:
         return len(self.queue) < self.queue_depth
@@ -64,9 +76,11 @@ class LoadStoreUnit:
         queue = self.queue
         if not queue:
             return
-        l1_access = self.l1.access
+        l1 = self.l1
+        l1_access = l1.access
         rsfails = AccessResult.RSFAILS
         bypass_map = self.bypass_by_kernel
+        obs = self._obs
         busy = False
         for _ in range(self.width):
             if not queue:
@@ -91,19 +105,42 @@ class LoadStoreUnit:
                     bypass=bypass,
                 )
                 self._current_request = request
+                if obs is not None:
+                    obs.mem_request_created(request, cycle)
 
-            result = l1_access(request, cycle)
+            memo = self._stall_memo
+            if (memo is not None and memo[0] is request
+                    and memo[1] == l1.version
+                    and memo[2] is l1.tags.partition):
+                # Nothing a failing lookup depends on changed since the
+                # last replay: replay the verdict and its stats bumps
+                # without walking the cache.
+                result = memo[3]
+                stats = l1.stats
+                stats.rsfails[request.kernel] += 1
+                stats.rsfail_reasons[result] += 1
+            else:
+                result = l1_access(request, cycle)
             if result in rsfails:
                 # Memory pipeline stall: replay the request next cycle.
+                if self.use_stall_memo:
+                    self._stall_memo = (request, l1.version,
+                                        l1.tags.partition, result)
                 self.stall_cycles += 1
                 sm.on_rsfail(request.kernel, cycle)
+                if obs is not None:
+                    obs.lsu_rsfail(self.sm_id, request.kernel,
+                                   result, cycle)
                 return
 
             busy = True
+            self._stall_memo = None
             self._current_request = None
             waits = not inst.is_store and result in _MISSES
             inst.note_request_sent(waits_for_data=waits)
             sm.on_request_issued(request, result, cycle)
+            if obs is not None:
+                obs.mem_request_l1(request, result, cycle)
             if inst.next_idx >= len(inst.lines):
                 queue.popleft()
                 inst.maybe_complete(cycle)

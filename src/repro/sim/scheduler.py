@@ -279,6 +279,49 @@ class WarpScheduler:
         sel.is_mem = True
         return sel
 
+    def first_ready(self, cycle: int):
+        """Pure introspection for stall attribution (observability).
+
+        Returns ``(warp, op, status)`` for the highest-priority warp
+        with work this cycle, where ``status`` is ``"ready"`` (warp is
+        latency-ready: the warp the hardware would have issued),
+        ``"blocked"`` (warps have work but all are scoreboard-blocked
+        on latency or the MLP cap), or ``"empty"`` (no owned warp has
+        work left; warp/op are ``None``).
+
+        Unlike :meth:`_priority_order` this never mutates scheduler
+        state: it reconstructs the priority order the preceding
+        ``select`` call used this cycle (for LRR, ``select`` already
+        advanced the rotation, hence the ``- 1``).
+        """
+        warps = self.warps
+        n = len(warps)
+        if not n:
+            return None, None, "empty"
+        if self._is_lrr:
+            start = (self._lrr_pos - 1) % n
+            order = warps[start:] + warps[:start]
+        else:
+            order = sorted(warps, key=_age_of)
+            greedy = self._greedy
+            if greedy is not None and greedy in warps:
+                order.remove(greedy)
+                order.insert(0, greedy)
+        blocked = None
+        blocked_op = None
+        for warp in order:
+            op = warp.stream.next_op
+            if op is None:
+                continue
+            if warp.ready_at <= cycle and warp.outstanding_loads < warp.mlp:
+                return warp, op, "ready"
+            if blocked is None:
+                blocked = warp
+                blocked_op = op
+        if blocked is None:
+            return None, None, "empty"
+        return blocked, blocked_op, "blocked"
+
     def _select_reference(self, cycle: int,
                           mem_ok: Callable[[Warp, str], bool],
                           compute_ok: Callable[[str], bool],

@@ -24,11 +24,23 @@ from repro.config import GPUConfig
 from repro.core.arbiter import SchemeBundle
 from repro.core.mil import NoLimit
 from repro.mem.cache import L1DCache
+from repro.obs.stalls import (
+    ISSUED,
+    KERNEL_NONE,
+    STALL_BMI_LOSS,
+    STALL_EXEC_PORT,
+    STALL_LSU_FULL,
+    STALL_MIL_CAPPED,
+    STALL_NO_WARP,
+    STALL_OTHER,
+    STALL_SCOREBOARD,
+    STALL_SMK_GATE,
+)
 from repro.sim.lsu import LoadStoreUnit
 from repro.sim.scheduler import NEVER, WarpScheduler
 from repro.sim.stats import KernelStats, TimelineRecorder
 from repro.sim.warp import MemInst, ThreadBlock, Warp
-from repro.workloads.kernel import OP_SFU, OP_STORE
+from repro.workloads.kernel import OP_ALU, OP_SFU, OP_STORE
 
 
 class SMKernelState:
@@ -50,7 +62,7 @@ class StreamingMultiprocessor:
                  launches: List, bundle: SchemeBundle,
                  kernel_stats: Dict[int, KernelStats],
                  timeline: Optional[TimelineRecorder] = None,
-                 fastpath: bool = True):
+                 fastpath: bool = True, obs=None):
         self.sm_id = sm_id
         self.config = config
         self.l1 = l1
@@ -58,8 +70,20 @@ class StreamingMultiprocessor:
         self.bundle = bundle
         self.kernel_stats = kernel_stats
         self.timeline = timeline
+        #: observability collector (None = zero-cost sentinel checks).
+        self._obs = obs
+        #: per-tick scratch for stall attribution: scheduler id ->
+        #: issuing kernel, and scheduler id -> kernel that lost the
+        #: BMI arbitration without a compute fallback.
+        self._obs_issued: Dict[int, int] = {}
+        self._obs_lost: Dict[int, int] = {}
 
         self.lsu = LoadStoreUnit(sm_id, l1, width=config.lsu_width)
+        self.lsu._obs = obs
+        # The stall-replay memo is a fast-loop trick; the reference
+        # loop stays the plain implementation the memo is validated
+        # against (bit-identity is asserted in tests/test_fastpath.py).
+        self.lsu.use_stall_memo = fastpath
         self.schedulers = [WarpScheduler(i, config.scheduler_policy,
                                          fastpath=fastpath)
                            for i in range(config.schedulers_per_sm)]
@@ -358,7 +382,11 @@ class StreamingMultiprocessor:
                     self._issue_mem(sched, sel.warp, sel.op, cycle)
                 elif sel.fallback is not None and compute_ok(sel.fallback_op):
                     self._issue_compute(sched, sel.fallback, sel.fallback_op, cycle)
+                elif self._obs is not None:
+                    self._obs_lost[sched.sched_id] = sel.warp.kernel_slot
 
+        if self._obs is not None:
+            self._obs_account(cycle)
         self.lsu.tick(cycle, self)
 
         if gate is not None:
@@ -400,6 +428,9 @@ class StreamingMultiprocessor:
             gate.note_issue(k)
         if self.timeline is not None:
             self.timeline.bump("insts", k, cycle)
+        if self._obs is not None:
+            self._obs_issued[sched.sched_id] = k
+            self._obs.issue_event(self.sm_id, sched.sched_id, k, op, cycle)
         if stream.next_op is None and not warp.outstanding_loads:
             self._finish_warp(warp)
 
@@ -434,8 +465,66 @@ class StreamingMultiprocessor:
             gate.note_issue(k)
         if self.timeline is not None:
             self.timeline.bump("insts", k, cycle)
+        if self._obs is not None:
+            self._obs_issued[sched.sched_id] = k
+            self._obs.issue_event(self.sm_id, sched.sched_id, k, op, cycle)
         if stream.next_op is None and not warp.outstanding_loads:
             self._finish_warp(warp)
+
+    # ------------------------------------------------------------------
+    # stall attribution (observability; never reached with obs off)
+    def _obs_account(self, cycle: int) -> None:
+        """Classify every scheduler's issue-slot outcome this cycle.
+
+        An issuing scheduler counts as ``issued``; a non-issuing one is
+        attributed to the reason its highest-priority latency-ready
+        warp (the warp the hardware would have issued) could not go —
+        see :mod:`repro.obs.stalls` for the taxonomy.  Residual
+        same-cycle races (e.g. a gate quota consumed between selection
+        and attribution) land in ``other``.
+        """
+        obs = self._obs
+        table = obs.stalls
+        sm_id = self.sm_id
+        issued = self._obs_issued
+        lost = self._obs_lost
+        for sched in self.schedulers:
+            sid = sched.sched_id
+            k = issued.get(sid)
+            if k is not None:
+                table.bump_sched(sm_id, sid, k, ISSUED)
+                continue
+            k = lost.get(sid)
+            if k is not None:
+                table.bump_sched(sm_id, sid, k, STALL_BMI_LOSS)
+                continue
+            warp, op, status = sched.first_ready(cycle)
+            if status == "empty":
+                table.bump_sched(sm_id, sid, KERNEL_NONE, STALL_NO_WARP)
+                continue
+            k = warp.kernel_slot
+            if status == "blocked":
+                table.bump_sched(sm_id, sid, k, STALL_SCOREBOARD)
+                continue
+            # A latency-ready warp had work but nothing issued: pin the
+            # denial on the gate, the port, or the memory pipeline.
+            gate = self._gate
+            if gate is not None and not gate.can_issue(k):
+                reason = STALL_SMK_GATE
+            elif op == OP_SFU or op == OP_ALU:
+                reason = (STALL_EXEC_PORT
+                          if op == OP_SFU and self._sfu_used
+                          else STALL_OTHER)
+            elif not self._lsu_free:
+                reason = STALL_LSU_FULL
+            elif not self.bundle.limiter.can_issue(
+                    k, self.kstate[k].inflight_minsts):
+                reason = STALL_MIL_CAPPED
+            else:
+                reason = STALL_OTHER
+            table.bump_sched(sm_id, sid, k, reason)
+        issued.clear()
+        lost.clear()
 
     # ------------------------------------------------------------------
     # scheme event hooks (called by the LSU)

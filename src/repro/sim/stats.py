@@ -50,12 +50,25 @@ class TimelineRecorder:
     def bump(self, series: str, kernel: int, cycle: int, amount: int = 1) -> None:
         bucket = cycle // self.interval
         samples = self.series[series].setdefault(kernel, [])
-        while len(samples) <= bucket:
-            samples.append(0)
+        gap = bucket + 1 - len(samples)
+        if gap > 0:
+            # Single C-level extend instead of a per-slot append loop:
+            # O(1) amortized even after a long quiet stretch.
+            samples.extend([0] * gap)
         samples[bucket] += amount
 
     def get(self, series: str, kernel: int) -> List[int]:
         return list(self.series.get(series, {}).get(kernel, []))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form: ``{series: {kernel: [samples...]}}`` plus the
+        sampling interval."""
+        return {
+            "interval": self.interval,
+            "series": {series: {kernel: list(samples)
+                                for kernel, samples in per_kernel.items()}
+                       for series, per_kernel in self.series.items()},
+        }
 
 
 @dataclass
@@ -84,13 +97,17 @@ class RunResult:
     l2_misses: int = 0
     dram_accesses: int = 0
     icnt_flits: int = 0
+    #: observability report (stall taxonomy, counter snapshot, trace
+    #: events) when the run was observed; None otherwise.
+    obs: Optional[object] = None
 
     # ------------------------------------------------------------------
     def ipc(self, kernel: int) -> float:
         return self.kernels[kernel].ipc(self.cycles)
 
     def total_ipc(self) -> float:
-        return sum(k.warp_insts for k in self.kernels.values()) / self.cycles
+        insts = sum(k.warp_insts for k in self.kernels.values())
+        return insts / self.cycles if self.cycles else 0.0
 
     def total_insts(self) -> int:
         return sum(k.warp_insts for k in self.kernels.values())
@@ -117,8 +134,12 @@ class RunResult:
         slots = self.alu_slots + self.sfu_slots
         return (self.alu_busy + self.sfu_busy) / slots if slots else 0.0
 
-    def summary(self) -> Dict[str, object]:
-        """Flat dict of headline numbers (used by the reporting layer)."""
+    def summary(self, include_stalls: bool = False) -> Dict[str, object]:
+        """Flat dict of headline numbers (used by the reporting layer).
+
+        With ``include_stalls`` and an observed run, the scheduler
+        stall-attribution shares (``stall[<reason>]``, fractions of all
+        issue slots) are appended."""
         out: Dict[str, object] = {
             "cycles": self.cycles,
             "lsu_stall_pct": self.lsu_stall_pct(),
@@ -128,4 +149,7 @@ class RunResult:
             out[f"ipc[{name}#{slot}]"] = self.ipc(slot)
             out[f"l1d_miss[{name}#{slot}]"] = self.l1d_miss_rate(slot)
             out[f"l1d_rsfail[{name}#{slot}]"] = self.l1d_rsfail_rate(slot)
+        if include_stalls and self.obs is not None:
+            for reason, share in sorted(self.obs.sched_stall_shares().items()):
+                out[f"stall[{reason}]"] = share
         return out

@@ -40,6 +40,35 @@ class TestCLI:
         assert "weighted speedup" in out
         assert "pf+bp" in out
 
+    def test_run_with_obs_appends_stall_breakdown(self, capsys):
+        assert main(["run", "pf", "bp", "--scheme", "even",
+                     "--cycles", "1200", "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler issue-slot breakdown" in out
+        assert "issued=" in out
+
+    def test_stalls_command(self, capsys):
+        assert main(["stalls", "st", "sv", "--scheme", "even",
+                     "--cycles", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler issue-slot breakdown" in out
+        assert "st#0" in out and "sv#1" in out
+
+    def test_stalls_rejects_dws(self, capsys):
+        assert main(["stalls", "st", "sv", "--scheme", "dws",
+                     "--cycles", "600"]) == 2
+        assert "dynamic Warped-Slicer" in capsys.readouterr().err
+
+    def test_trace_command_writes_chrome_json(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "st", "sv", str(out_path), "--scheme", "even",
+                     "--cycles", "1200"]) == 0
+        assert "trace written" in capsys.readouterr().out
+        obj = json.loads(out_path.read_text())
+        assert obj["traceEvents"]
+        assert {"ph", "name", "pid"} <= set(obj["traceEvents"][0])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
