@@ -24,6 +24,11 @@ Commands
     optional live heartbeat telemetry and per-cell stall reports.
 ``bench [--which cycle-loop|campaign|all] [--workers N]``
     Wall-clock perf benchmarks; writes ``BENCH_*.json`` at the root.
+``lint [paths] [--format text|json|github] [--select IDS]
+[--baseline FILE] [--write-baseline] [--list-rules]``
+    AST-based simulator-invariant linter (determinism, sentinel-hook
+    discipline, stat hygiene, picklability) — see
+    ``docs/LINT_RULES.md``.  Exits 1 on findings, 2 on usage errors.
 ``schemes``
     List the scheme names the harness understands.
 """
@@ -211,6 +216,19 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint_command
+    return run_lint_command(
+        paths=args.paths,
+        fmt=args.format,
+        baseline_path=args.baseline,
+        write_baseline=args.write_baseline,
+        select=args.select,
+        list_rules=args.list_rules,
+        root=args.root,
+    )
+
+
 def cmd_schemes(_args) -> int:
     print(format_table(["scheme", "meaning"],
                        [[a, b] for a, b in SCHEME_HELP]))
@@ -281,6 +299,28 @@ def main(argv=None) -> int:
                        choices=["cycle-loop", "campaign", "all"])
     bench.add_argument("--workers", type=int, default=4)
     bench.set_defaults(fn=cmd_bench)
+
+    lint = sub.add_parser("lint")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: src tests)")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "github"],
+                      help="report format (github = Actions annotations)")
+    lint.add_argument("--select", action="append", default=[],
+                      metavar="IDS",
+                      help="comma-separated rule ids to run "
+                           "(e.g. REPRO-D001,O001); default: all")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="filter findings recorded in this baseline file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="snapshot current findings into the baseline "
+                           "and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--root", default=None,
+                      help="repo root for path-scoped rules "
+                           "(default: current directory)")
+    lint.set_defaults(fn=cmd_lint)
 
     sub.add_parser("schemes").set_defaults(fn=cmd_schemes)
 

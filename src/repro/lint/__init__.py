@@ -1,0 +1,47 @@
+"""repro.lint — AST-based simulator-invariant linter.
+
+The simulator's headline guarantees — fast loop bit-identical to the
+reference loop, obs-on bit-identical to obs-off, parallel campaigns
+bit-identical to serial — rest on coding invariants no unit test can
+watch everywhere: deterministic iteration order, sentinel-guarded
+observability hooks, taxonomy-closed stall accounting, picklable
+process-boundary classes.  This package machine-checks them:
+
+* :mod:`repro.lint.rules.determinism` — ``REPRO-D001..D004``;
+* :mod:`repro.lint.rules.hooks` — ``REPRO-O001``;
+* :mod:`repro.lint.rules.stats` — ``REPRO-S001..S003``;
+* :mod:`repro.lint.rules.pickles` — ``REPRO-P001``.
+
+Run it as ``python -m repro lint [paths]`` (see
+:mod:`repro.lint.cli`), or drive the pieces directly::
+
+    from repro.lint import LintEngine, all_rules
+    findings = LintEngine("/repo").lint_paths(["src"])
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (DEFAULT_EXCLUDE_DIRS, FileContext, LintEngine,
+                               PARSE_ERROR_RULE, lint_paths)
+from repro.lint.findings import Finding
+from repro.lint.output import (format_catalog, format_github, format_json,
+                               format_text, render)
+from repro.lint.rules import Rule, all_rules, normalize_rule_id, rules_by_id
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_EXCLUDE_DIRS",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "PARSE_ERROR_RULE",
+    "Rule",
+    "all_rules",
+    "format_catalog",
+    "format_github",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "normalize_rule_id",
+    "render",
+    "rules_by_id",
+]

@@ -1,0 +1,99 @@
+"""Checked-in lint baseline: grandfather known findings, block new ones.
+
+The baseline is a small JSON document mapping finding fingerprints —
+``(rule, path, snippet)``, deliberately line-number free — to how many
+times each fingerprint may occur.  ``--baseline FILE`` filters matched
+findings out of the run (up to the recorded count per fingerprint, so
+a *second* copy of a baselined violation still fails);
+``--write-baseline`` snapshots the current findings so a rule can land
+strict-for-new-code before the last legacy sites are fixed.
+
+Matching by snippet instead of line number means unrelated edits that
+shift code around do not resurrect baselined findings, while editing
+the offending line itself (changing its text) surfaces the finding
+again — exactly when a human is already touching that line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: conventional baseline filename at the repo root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """An allowance multiset of finding fingerprints."""
+
+    def __init__(self, counts: Dict[_Key, int] = None):
+        self.counts: Dict[_Key, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[_Key, int] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline, original order kept."""
+        budget = dict(self.counts)
+        fresh: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # persistence
+    def to_payload(self) -> Dict[str, object]:
+        entries = [
+            {"rule": rule, "path": path, "snippet": snippet, "count": count}
+            for (rule, path, snippet), count in sorted(self.counts.items())
+        ]
+        return {"version": BASELINE_VERSION, "entries": entries}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Baseline":
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})")
+        counts: Dict[_Key, int] = {}
+        for entry in payload.get("entries", []):
+            key = (str(entry["rule"]), str(entry["path"]),
+                   str(entry.get("snippet", "")))
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict):
+            raise ValueError("baseline file must hold a JSON object")
+        return cls.from_payload(payload)

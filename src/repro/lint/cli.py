@@ -1,0 +1,119 @@
+"""``python -m repro lint`` — the linter's command-line surface.
+
+Exit codes follow the CI contract:
+
+* ``0`` — clean (no findings after baseline filtering), or a
+  successful ``--list-rules`` / ``--write-baseline``;
+* ``1`` — findings reported;
+* ``2`` — usage error (unknown rule id, missing path, bad baseline),
+  reported as ``error: ...`` on stderr like the other subcommands.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine
+from repro.lint.output import FORMATS, format_catalog, render
+from repro.lint.rules import Rule, all_rules, normalize_rule_id, rules_by_id
+
+#: fallback lint targets when no paths are given.
+DEFAULT_PATHS = ("src", "tests")
+
+
+def _usage_error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _select_rules(selectors: Sequence[str]) -> List[Rule]:
+    """Resolve ``--select`` values against the catalog (order kept)."""
+    catalog = all_rules()
+    by_id = rules_by_id(catalog)
+    wanted = set()
+    for raw in selectors:
+        for part in raw.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            rid = normalize_rule_id(part)
+            if rid == "ALL":
+                wanted.update(by_id)
+                continue
+            if rid not in by_id:
+                known = ", ".join(sorted(by_id))
+                raise ValueError(
+                    f"unknown rule id {part!r} (known: {known})")
+            wanted.add(rid)
+    return [rule for rule in catalog if rule.id in wanted]
+
+
+def _resolve_paths(root: str, raw_paths: Sequence[str]) -> List[str]:
+    """Validate requested paths (default: ``src tests`` under root)."""
+    if raw_paths:
+        for path in raw_paths:
+            abs_path = path if os.path.isabs(path) \
+                else os.path.join(root, path)
+            if not os.path.exists(abs_path):
+                raise ValueError(f"path does not exist: {path}")
+        return list(raw_paths)
+    defaults = [p for p in DEFAULT_PATHS
+                if os.path.isdir(os.path.join(root, p))]
+    if not defaults:
+        raise ValueError(
+            f"no paths given and no {'/'.join(DEFAULT_PATHS)} "
+            f"directories under {root}")
+    return defaults
+
+
+def run_lint_command(paths: Sequence[str], fmt: str = "text",
+                     baseline_path: Optional[str] = None,
+                     write_baseline: bool = False,
+                     select: Sequence[str] = (),
+                     list_rules: bool = False,
+                     root: Optional[str] = None) -> int:
+    """Execute one lint run; returns the process exit code."""
+    if list_rules:
+        print(format_catalog(all_rules()))
+        return 0
+
+    if fmt not in FORMATS:
+        return _usage_error(
+            f"unknown format {fmt!r} (choose from {', '.join(FORMATS)})")
+
+    try:
+        rules = _select_rules(select) if select else all_rules()
+    except ValueError as exc:
+        return _usage_error(str(exc))
+
+    root = os.path.abspath(root or os.getcwd())
+    try:
+        targets = _resolve_paths(root, list(paths))
+    except ValueError as exc:
+        return _usage_error(str(exc))
+
+    engine = LintEngine(root, rules=rules)
+    findings = engine.lint_paths(targets)
+
+    if write_baseline:
+        dest = baseline_path or os.path.join(root, ".repro-lint-baseline.json")
+        Baseline.from_findings(findings).save(dest)
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"baseline written: {dest} ({len(findings)} {noun})")
+        return 0
+
+    if baseline_path:
+        if not os.path.exists(baseline_path):
+            return _usage_error(
+                f"baseline file does not exist: {baseline_path}")
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError) as exc:
+            return _usage_error(f"invalid baseline file: {exc}")
+        findings = baseline.filter(findings)
+
+    print(render(findings, fmt))
+    return 1 if findings else 0

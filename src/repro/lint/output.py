@@ -1,0 +1,92 @@
+"""Finding renderers: text (humans), json (tools), github (CI
+annotations), plus the ``--list-rules`` catalog."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule
+
+FORMATS = ("text", "json", "github")
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-facing report: one ``path:line:col`` block per finding."""
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                     f"{finding.rule}: {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    count = len(findings)
+    if count:
+        noun = "finding" if count == 1 else "findings"
+        lines.append(f"{count} {noun}")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Stable machine-readable report (sorted findings, count)."""
+    payload = {
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _annotation_escape(text: str) -> str:
+    """GitHub workflow-command escaping for annotation messages."""
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def format_github(findings: Sequence[Finding]) -> str:
+    """``::error`` workflow annotations, one per finding — renders
+    inline on the PR diff when emitted from an Actions job."""
+    lines: List[str] = []
+    for finding in findings:
+        message = finding.message
+        if finding.hint:
+            message = f"{message} — hint: {finding.hint}"
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::"
+            f"{_annotation_escape(message)}")
+    return "\n".join(lines)
+
+
+def render(findings: Sequence[Finding], fmt: str) -> str:
+    if fmt == "json":
+        return format_json(findings)
+    if fmt == "github":
+        return format_github(findings)
+    return format_text(findings)
+
+
+# ----------------------------------------------------------------------
+def format_catalog(rules: Sequence[Rule]) -> str:
+    """The ``--list-rules`` catalog: id, scope, rationale, examples."""
+    blocks: List[str] = []
+    for rule in rules:
+        lines = [f"{rule.id}  {rule.name}"]
+        scope = ", ".join(rule.scope) if rule.scope else "all linted files"
+        lines.append(f"  scope: {scope}")
+        if rule.exclude:
+            lines.append(f"  except: {', '.join(rule.exclude)}")
+        lines.append(f"  why: {rule.rationale}")
+        if rule.bad:
+            for i, text in enumerate(rule.bad.splitlines()):
+                lines.append(f"  bad:  {text}" if i == 0 else f"        {text}")
+        if rule.good:
+            for i, text in enumerate(rule.good.splitlines()):
+                lines.append(f"  good: {text}" if i == 0 else f"        {text}")
+        if rule.hint:
+            lines.append(f"  fix: {rule.hint}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

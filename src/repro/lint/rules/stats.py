@@ -1,0 +1,242 @@
+"""REPRO-S0xx — stat hygiene.
+
+PR 2's stall-attribution taxonomy is *exact by construction*: every
+scheduler issue slot and every stalled LSU cycle lands in exactly one
+class, and the classes sum to the engine totals.  That exactness is
+easy to lose through typos — a counter name that doesn't parse, a
+stall-reason literal outside the taxonomy, an ``if``/``elif`` chain
+that silently drops a class.  These rules machine-check it:
+
+* **REPRO-S001** — every counter/gauge name passed to the obs registry
+  as a source literal must parse as a dotted name (f-string
+  placeholders count as one segment-safe token), and a literal leaf
+  under an ``issue.`` / ``stall.`` segment must belong to the declared
+  taxonomy.
+* **REPRO-S002** — stall-reason literals passed to
+  ``StallTable.bump_sched`` / ``bump_lsu`` must belong to the declared
+  scheduler / LSU taxonomy.
+* **REPRO-S003** — an ``if``/``elif`` chain that classifies into stall
+  constants must be exhaustive: it needs a final ``else`` (the
+  ``STALL_OTHER`` residual), otherwise unclassified slots silently
+  break the exact-sum invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Set
+
+from repro.lint.rules import Rule, SRC_SCOPE, expr_key
+from repro.obs.stalls import ISSUED, LSU_STALL_REASONS, SCHED_STALL_REASONS
+
+#: registry methods whose first argument is a dotted metric name.
+_REGISTRY_METHODS = frozenset(("counter", "gauge", "bump", "set", "scoped"))
+
+#: placeholder standing in for an f-string interpolation.
+_HOLE = "\x00"
+
+_SEGMENT_RE = re.compile(r"[A-Za-z0-9_\x00]+\Z")
+
+#: valid scheduler issue-slot outcomes (taxonomy + the issued class).
+SCHED_REASONS: Set[str] = set(SCHED_STALL_REASONS) | {ISSUED}
+LSU_REASONS: Set[str] = set(LSU_STALL_REASONS)
+ALL_REASONS: Set[str] = SCHED_REASONS | LSU_REASONS
+
+#: names of the taxonomy constants as they appear in source.
+TAXONOMY_CONST_NAMES: Set[str] = {"ISSUED"} | {
+    f"STALL_{reason.upper()}" for reason in SCHED_STALL_REASONS
+}
+
+
+def _literal_pattern(node: ast.AST) -> Optional[str]:
+    """The string a literal produces, with f-string interpolations
+    replaced by a placeholder token; None for non-literals."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append(_HOLE)
+        return "".join(parts)
+    return None
+
+
+def _dotted_ok(pattern: str) -> bool:
+    segments = pattern.split(".")
+    return all(seg and _SEGMENT_RE.match(seg) for seg in segments)
+
+
+class CounterNameRule(Rule):
+    """REPRO-S001: registry metric names must be well-formed."""
+
+    id = "REPRO-S001"
+    name = "counter-name"
+    rationale = (
+        "The registry's fnmatch queries, snapshot merging and tree "
+        "nesting all key on dotted names; a malformed literal silently "
+        "creates an unreachable metric.  Literal leaves under issue./"
+        "stall. segments must come from the declared taxonomy or the "
+        "exact-sum reports miss them.")
+    hint = ("use dot-separated [A-Za-z0-9_] segments, e.g. "
+            "f\"sm{sm_id}.lsu.stall_cycles\"; spell taxonomy leaves via "
+            "the repro.obs.stalls constants")
+    scope = SRC_SCOPE
+    bad = 'registry.counter("sm0 issue slots!")'
+    good = 'registry.counter(f"sm{sm_id}.issue.slots")'
+
+    def check(self, tree: ast.AST, ctx) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (not isinstance(func, ast.Attribute)
+                    or func.attr not in _REGISTRY_METHODS or not node.args):
+                continue
+            receiver = expr_key(func.value) or ""
+            if "trace" in receiver.lower():
+                # Chrome-trace track names are display strings, not
+                # registry metrics.
+                continue
+            pattern = _literal_pattern(node.args[0])
+            if pattern is None:
+                continue
+            if not _dotted_ok(pattern):
+                shown = pattern.replace(_HOLE, "{...}")
+                ctx.report(node.args[0],
+                           f"metric name {shown!r} is not a dotted name "
+                           f"(segments of [A-Za-z0-9_])")
+                continue
+            segments = pattern.split(".")
+            if (len(segments) >= 2 and segments[-2] in ("issue", "stall")
+                    and _HOLE not in segments[-1]
+                    and segments[-1] not in ALL_REASONS):
+                ctx.report(node.args[0],
+                           f"leaf {segments[-1]!r} under "
+                           f"{segments[-2]!r} is not in the declared "
+                           f"stall taxonomy")
+
+
+class StallReasonRule(Rule):
+    """REPRO-S002: stall-reason literals must be taxonomy members."""
+
+    id = "REPRO-S002"
+    name = "stall-reason"
+    rationale = (
+        "StallTable accumulates by raw reason string; a literal "
+        "outside the taxonomy creates a class the reports never "
+        "display, breaking the slots-sum-exactly invariant checked by "
+        "the stall tests.")
+    hint = ("use the constants from repro.obs.stalls (STALL_*, ISSUED, "
+            "LSU_STALL_REASONS members)")
+    scope = SRC_SCOPE
+    bad = 'table.bump_sched(sm, sched, k, "warp_jam")'
+    good = "table.bump_sched(sm, sched, k, STALL_SCOREBOARD)"
+
+    #: method name -> (positional index of ``reason``, allowed set).
+    _SITES = {
+        "bump_sched": (3, "scheduler"),
+        "bump_lsu": (2, "LSU"),
+    }
+
+    def check(self, tree: ast.AST, ctx) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            site = self._SITES.get(func.attr)
+            if site is None:
+                continue
+            index, family = site
+            allowed = SCHED_REASONS if family == "scheduler" else LSU_REASONS
+            reason_arg = None
+            if len(node.args) > index:
+                reason_arg = node.args[index]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "reason":
+                        reason_arg = kw.value
+            if (isinstance(reason_arg, ast.Constant)
+                    and isinstance(reason_arg.value, str)
+                    and reason_arg.value not in allowed):
+                ctx.report(reason_arg,
+                           f"{reason_arg.value!r} is not a declared "
+                           f"{family} stall class "
+                           f"({', '.join(sorted(allowed))})")
+
+
+class ExhaustiveStallChainRule(Rule):
+    """REPRO-S003: stall-classification chains need an else residual."""
+
+    id = "REPRO-S003"
+    name = "stall-chain-else"
+    rationale = (
+        "A stall-classification if/elif chain with no else drops "
+        "same-cycle races on the floor, so the per-reason counts stop "
+        "summing to cycles x SMs x schedulers — the taxonomy's "
+        "defining invariant.")
+    hint = "end the chain with `else: reason = STALL_OTHER` (the residual)"
+    scope = SRC_SCOPE
+    bad = ("if gated: reason = STALL_SMK_GATE\n"
+           "elif full: reason = STALL_LSU_FULL  # no else")
+    good = ("if gated: reason = STALL_SMK_GATE\n"
+            "elif full: reason = STALL_LSU_FULL\n"
+            "else: reason = STALL_OTHER")
+
+    def check(self, tree: ast.AST, ctx) -> None:
+        heads = self._chain_heads(tree)
+        for head in heads:
+            branches, final_else = self._chain(head)
+            targets: List[str] = []
+            for body in branches:
+                target = self._taxonomy_assign_target(body)
+                if target is not None:
+                    targets.append(target)
+            if len(targets) >= 2 and not final_else:
+                common = {t for t in targets if targets.count(t) >= 2}
+                if common:
+                    ctx.report(head,
+                               f"if/elif chain assigning stall classes to "
+                               f"{sorted(common)[0]!r} has no else: "
+                               f"unmatched cases escape the taxonomy")
+
+    @staticmethod
+    def _chain_heads(tree: ast.AST) -> List[ast.If]:
+        elifs = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.If) and len(node.orelse) == 1
+                    and isinstance(node.orelse[0], ast.If)):
+                elifs.add(id(node.orelse[0]))  # repro-lint: disable=REPRO-D004 (intra-walk identity only)
+        return [node for node in ast.walk(tree)
+                if isinstance(node, ast.If) and id(node) not in elifs]  # repro-lint: disable=REPRO-D004 (intra-walk identity only)
+
+    @staticmethod
+    def _chain(head: ast.If):
+        branches = []
+        node = head
+        while True:
+            branches.append(node.body)
+            if len(node.orelse) == 1 and isinstance(node.orelse[0], ast.If):
+                node = node.orelse[0]
+                continue
+            return branches, bool(node.orelse)
+
+    @staticmethod
+    def _taxonomy_assign_target(body) -> Optional[str]:
+        for st in body:
+            if (isinstance(st, ast.Assign) and len(st.targets) == 1
+                    and isinstance(st.targets[0], ast.Name)):
+                value = st.value
+                if (isinstance(value, ast.Name)
+                        and value.id in TAXONOMY_CONST_NAMES):
+                    return st.targets[0].id
+                if (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value in ALL_REASONS):
+                    return st.targets[0].id
+        return None

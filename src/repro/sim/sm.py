@@ -386,7 +386,7 @@ class StreamingMultiprocessor:
                     self._obs_lost[sched.sched_id] = sel.warp.kernel_slot
 
         if self._obs is not None:
-            self._obs_account(cycle)
+            self._obs_account(self._obs, cycle)
         self.lsu.tick(cycle, self)
 
         if gate is not None:
@@ -473,7 +473,7 @@ class StreamingMultiprocessor:
 
     # ------------------------------------------------------------------
     # stall attribution (observability; never reached with obs off)
-    def _obs_account(self, cycle: int) -> None:
+    def _obs_account(self, obs, cycle: int) -> None:
         """Classify every scheduler's issue-slot outcome this cycle.
 
         An issuing scheduler counts as ``issued``; a non-issuing one is
@@ -482,8 +482,10 @@ class StreamingMultiprocessor:
         see :mod:`repro.obs.stalls` for the taxonomy.  Residual
         same-cycle races (e.g. a gate quota consumed between selection
         and attribution) land in ``other``.
+
+        ``obs`` is the already-guarded sentinel: the caller only
+        reaches here under ``if self._obs is not None``.
         """
-        obs = self._obs
         table = obs.stalls
         sm_id = self.sm_id
         issued = self._obs_issued

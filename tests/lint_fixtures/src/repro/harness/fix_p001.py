@@ -1,0 +1,35 @@
+"""REPRO-P001 fixture: unpicklable state on process-crossing classes."""
+
+from dataclasses import dataclass, field
+
+
+class MixJob:
+    score = lambda r: r.ipc  # noqa: E731  LINT-BAD: REPRO-P001
+
+    def __init__(self, kernels):
+        self.kernels = kernels
+        self.rank = lambda o: o.weighted_speedup  # LINT-BAD: REPRO-P001
+
+    def attach_closure(self, threshold):
+        def above(outcome):
+            return outcome.antt > threshold
+        self.accept = above  # LINT-BAD: REPRO-P001
+
+
+@dataclass
+class RunResult:
+    metric: object = field(default=lambda: 0.0)  # LINT-BAD: REPRO-P001
+    cycles: int = 0  # LINT-OK: plain data
+    stats: dict = field(default_factory=dict)  # LINT-OK: factory runs early
+
+
+class LocalHelper:
+    # Not a process-crossing class: identical patterns are fine here.
+    score = lambda r: r.ipc  # noqa: E731  LINT-OK
+
+    def __init__(self):
+        self.rank = lambda o: o.ipc  # LINT-OK
+
+
+def transient_lambdas_are_fine(outcomes):
+    return sorted(outcomes, key=lambda o: o.antt)  # LINT-OK: not stored

@@ -1,0 +1,34 @@
+"""REPRO-D001 fixture: unordered iteration in a sim-scope module."""
+
+
+def iterate_literal():
+    total = 0
+    for sm in {0, 1, 2}:  # LINT-BAD: REPRO-D001
+        total += sm
+    return total
+
+
+def iterate_call(warps):
+    pending = set(warps)
+    order = list(pending)  # LINT-BAD: REPRO-D001
+    return order
+
+
+def iterate_keys(table):
+    for key in table.keys():  # LINT-BAD: REPRO-D001
+        yield key
+
+
+def comprehension(warps):
+    return [w.age for w in frozenset(warps)]  # LINT-BAD: REPRO-D001
+
+
+def sorted_is_fine(warps):
+    pending = set(warps)
+    for w in sorted(pending):  # LINT-OK: sorted() restores determinism
+        yield w
+
+
+def membership_is_fine(warps, w):
+    pending = set(warps)
+    return w in pending  # LINT-OK: membership test, not iteration

@@ -1,0 +1,16 @@
+"""REPRO-D002 fixture: global / unseeded RNG use."""
+
+import random
+
+
+def global_rng_draw():
+    return random.randint(1, 8)  # LINT-BAD: REPRO-D002
+
+
+def unseeded_instance():
+    return random.Random()  # LINT-BAD: REPRO-D002
+
+
+def seeded_is_fine(seed):
+    rng = random.Random(seed)  # LINT-OK: explicitly seeded
+    return rng.randint(1, 8)

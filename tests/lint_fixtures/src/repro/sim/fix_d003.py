@@ -1,0 +1,15 @@
+"""REPRO-D003 fixture: host-clock reads in simulated code."""
+
+import time
+
+
+def read_clock():
+    return time.perf_counter()  # LINT-BAD: REPRO-D003
+
+
+def read_epoch():
+    return time.time()  # LINT-BAD: REPRO-D003
+
+
+def cycle_time_is_fine(cycle):
+    return cycle * 2  # LINT-OK: simulated time only

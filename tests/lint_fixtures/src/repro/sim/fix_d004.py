@@ -1,0 +1,16 @@
+"""REPRO-D004 fixture: id()-derived ordering."""
+
+
+def id_keyed_map(warps):
+    table = {}
+    for w in warps:
+        table[id(w)] = w  # LINT-BAD: REPRO-D004
+    return table
+
+
+def id_sort(warps):
+    return sorted(warps, key=id)  # LINT-BAD: REPRO-D004
+
+
+def stable_sort_is_fine(warps):
+    return sorted(warps, key=lambda w: w.age)  # LINT-OK: stable field

@@ -1,0 +1,39 @@
+"""REPRO-O001 fixture: sentinel-hook guard discipline."""
+
+
+class FakeSM:
+    def __init__(self, obs):
+        self._obs = obs
+
+    def unguarded_call(self, cycle):
+        self._obs.issue_event(0, 0, 0, "alu", cycle)  # LINT-BAD: REPRO-O001
+
+    def unguarded_alias(self, cycle):
+        obs = self._obs
+        table = obs.stalls  # LINT-BAD: REPRO-O001
+        return table
+
+    def guarded_call(self, cycle):
+        if self._obs is not None:
+            self._obs.issue_event(0, 0, 0, "alu", cycle)  # LINT-OK
+
+    def guarded_alias(self, cycle):
+        obs = self._obs
+        if obs is not None:
+            obs.issue_event(0, 0, 0, "alu", cycle)  # LINT-OK
+
+    def early_exit_guard(self, cycle):
+        if self._obs is None:
+            return
+        self._obs.issue_event(0, 0, 0, "alu", cycle)  # LINT-OK
+
+    def and_chain(self, cycle):
+        return self._obs is not None and self._obs.stalls  # LINT-OK
+
+    def parameter_is_fine(self, obs, cycle):
+        # Callers pass an already-guarded sentinel in; parameters are
+        # outside the sentinel tracking on purpose.
+        obs.issue_event(0, 0, 0, "alu", cycle)  # LINT-OK
+
+    def bare_load_is_fine(self):
+        return self._obs  # LINT-OK: no attribute access through it

@@ -1,0 +1,22 @@
+"""Pragma fixture: inline suppression of deliberate exceptions."""
+
+
+def suppressed_same_line(warps):
+    for w in set(warps):  # repro-lint: disable=REPRO-D001 (fixture)
+        yield w
+
+
+def suppressed_line_above(warps):
+    # repro-lint: disable=REPRO-D001 (fixture, marker on previous line)
+    for w in set(warps):
+        yield w
+
+
+def suppressed_all(warps):
+    for w in set(warps):  # repro-lint: disable=ALL (fixture)
+        yield w
+
+
+def wrong_rule_id_does_not_suppress(warps):
+    for w in set(warps):  # repro-lint: disable=REPRO-D002 LINT-BAD: REPRO-D001
+        yield w

@@ -1,0 +1,18 @@
+"""REPRO-S001 fixture: registry metric-name hygiene."""
+
+
+def bad_names(registry, sm_id):
+    registry.counter("sm0 issue slots!")  # LINT-BAD: REPRO-S001
+    registry.bump("sm0.issue.warp_jam", 1)  # LINT-BAD: REPRO-S001 (leaf)
+    registry.gauge(f"sm{sm_id}..mil")  # LINT-BAD: REPRO-S001 (empty seg)
+
+
+def good_names(registry, sm_id, reason):
+    registry.counter("engine.cycles")  # LINT-OK
+    registry.bump(f"sm{sm_id}.issue.scoreboard", 1)  # LINT-OK: taxonomy
+    registry.bump(f"sm{sm_id}.stall.{reason}", 1)  # LINT-OK: dynamic leaf
+    registry.scoped(f"sm{sm_id}.mil.k0")  # LINT-OK
+
+
+def trace_tracks_are_fine(trace, kernel):
+    trace.counter(f"dmil limit k{kernel}", 3)  # LINT-OK: trace display name

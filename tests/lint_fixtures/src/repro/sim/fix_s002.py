@@ -1,0 +1,13 @@
+"""REPRO-S002 fixture: stall-reason literals vs the taxonomy."""
+
+
+def bad_reasons(table, sm, sched, k):
+    table.bump_sched(sm, sched, k, "warp_jam")  # LINT-BAD: REPRO-S002
+    table.bump_lsu(sm, k, reason="rsfail_tlb")  # LINT-BAD: REPRO-S002
+
+
+def good_reasons(table, sm, sched, k, reason):
+    table.bump_sched(sm, sched, k, "scoreboard")  # LINT-OK: taxonomy member
+    table.bump_sched(sm, sched, k, "issued")  # LINT-OK
+    table.bump_lsu(sm, k, "rsfail_mshr")  # LINT-OK
+    table.bump_lsu(sm, k, reason)  # LINT-OK: non-literal, constant upstream

@@ -1,0 +1,32 @@
+"""REPRO-S003 fixture: stall-classification chains need an else."""
+
+STALL_SMK_GATE = "smk_gate"
+STALL_LSU_FULL = "lsu_full"
+STALL_OTHER = "other"
+
+
+def open_chain(gated, full):
+    reason = None
+    if gated:  # LINT-BAD: REPRO-S003
+        reason = STALL_SMK_GATE
+    elif full:
+        reason = STALL_LSU_FULL
+    return reason
+
+
+def closed_chain(gated, full):
+    if gated:  # LINT-OK: else residual present
+        reason = STALL_SMK_GATE
+    elif full:
+        reason = STALL_LSU_FULL
+    else:
+        reason = STALL_OTHER
+    return reason
+
+
+def unrelated_chain(a, b):
+    if a:  # LINT-OK: not a taxonomy classification
+        mode = "fast"
+    elif b:
+        mode = "slow"
+    return mode

@@ -1,0 +1,15 @@
+"""Scope fixture: SIM-scoped rules must NOT fire outside sim packages.
+
+This file lives under ``src/repro/workloads`` — inside SRC_SCOPE but
+outside SIM_SCOPE — so set iteration and ``id()`` use (REPRO-D001 /
+REPRO-D004, both SIM-scoped) are allowed here, while SRC-scoped rules
+still apply.
+"""
+
+
+def set_iteration_allowed_here(names):
+    return [n for n in set(names)]  # LINT-OK: outside SIM_SCOPE
+
+
+def id_allowed_here(objects):
+    return sorted(objects, key=id)  # LINT-OK: outside SIM_SCOPE

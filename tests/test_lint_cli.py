@@ -1,0 +1,127 @@
+"""CLI-level linter tests: ``python -m repro lint`` exit codes,
+formats, rule selection and baseline flags."""
+
+import json
+import os
+
+from repro.__main__ import main
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+FIXROOT = os.path.join(HERE, "lint_fixtures")
+
+
+def run(argv):
+    return main(["lint"] + argv)
+
+
+# ----------------------------------------------------------------------
+# exit codes
+def test_findings_exit_1(capsys):
+    code = run(["src/repro/sim/fix_d001.py", "--root", FIXROOT])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REPRO-D001" in out
+
+
+def test_clean_tree_exits_0(capsys):
+    code = run(["src/repro/lint", "--root", REPO_ROOT])
+    assert code == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_repo_src_and_tests_are_clean():
+    assert run(["src", "tests", "--root", REPO_ROOT]) == 0
+
+
+def test_unknown_rule_id_exits_2(capsys):
+    code = run(["src", "--root", REPO_ROOT, "--select", "REPRO-X999"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "unknown rule id" in err
+
+
+def test_missing_path_exits_2(capsys):
+    code = run(["no/such/dir", "--root", REPO_ROOT])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "does not exist" in err
+
+
+def test_missing_baseline_file_exits_2(capsys):
+    code = run(["src", "--root", REPO_ROOT,
+                "--baseline", "no-such-baseline.json"])
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# rule selection
+def test_select_restricts_rules(capsys):
+    # fix_d001 violates D001 only; selecting D002 must report nothing.
+    code = run(["src/repro/sim/fix_d001.py", "--root", FIXROOT,
+                "--select", "REPRO-D002"])
+    assert code == 0
+    capsys.readouterr()
+
+
+def test_select_accepts_shorthand_and_lists(capsys):
+    code = run(["src/repro/sim/fix_d001.py", "--root", FIXROOT,
+                "--select", "d001,o001"])
+    assert code == 1
+    capsys.readouterr()
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert run(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in ("REPRO-D001", "REPRO-D002", "REPRO-D003", "REPRO-D004",
+                "REPRO-O001", "REPRO-S001", "REPRO-S002", "REPRO-S003",
+                "REPRO-P001"):
+        assert rid in out
+    assert "bad:" in out and "good:" in out
+
+
+# ----------------------------------------------------------------------
+# formats
+def test_json_format(capsys):
+    code = run(["src/repro/sim/fix_d002.py", "--root", FIXROOT,
+                "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] >= 2
+    assert all(f["rule"] == "REPRO-D002" for f in payload["findings"])
+
+
+def test_github_format(capsys):
+    code = run(["src/repro/sim/fix_d003.py", "--root", FIXROOT,
+                "--format", "github"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "::error file=src/repro/sim/fix_d003.py" in out
+    assert "title=REPRO-D003" in out
+
+
+# ----------------------------------------------------------------------
+# baseline flags
+def test_write_then_apply_baseline(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    code = run(["src/repro/sim/fix_d004.py", "--root", FIXROOT,
+                "--baseline", baseline, "--write-baseline"])
+    assert code == 0
+    assert "baseline written" in capsys.readouterr().out
+
+    code = run(["src/repro/sim/fix_d004.py", "--root", FIXROOT,
+                "--baseline", baseline])
+    assert code == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_checked_in_baseline_is_empty_and_loadable():
+    path = os.path.join(REPO_ROOT, ".repro-lint-baseline.json")
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["version"] == 1
+    assert payload["entries"] == []
