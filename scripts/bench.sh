@@ -6,9 +6,25 @@
 #     PYTHONPATH=src python -m repro bench [--which ...] [--workers N]
 #
 # Usage: scripts/bench.sh [pytest-args...]
+#        scripts/bench.sh --check [bench-args...]
+#
+# --check re-measures the cycle loop against the committed
+# BENCH_cycle_loop.json and exits 1 on a >10% geomean regression
+# (the report's "baseline" block carries the per-workload ratios).
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$root"
+
+if [ "${1:-}" = "--check" ]; then
+    shift
+    # Measure into a scratch report so the committed baseline file is
+    # left untouched for future diffs.
+    tmp=$(mktemp -t bench_check.XXXXXX)
+    trap 'rm -f "$tmp"' EXIT INT TERM
+    env PYTHONPATH="$root/src" python -m repro bench \
+        --which cycle-loop --check --out "$tmp" "$@"
+    exit $?
+fi
 
 PYTHONPATH="$root/src" python -m pytest benchmarks/perf -m perf -q "$@"

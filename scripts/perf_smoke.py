@@ -1,0 +1,42 @@
+"""CI perf smoke: a seconds-long slice of the cycle-loop benchmark.
+
+Runs two workloads on the scaled-down config and asserts the two
+properties that must hold on any machine, however noisy:
+
+* the fast loop is bit-identical to the reference loop (this is the
+  real gate — ``bench_cycle_loop`` raises on divergence);
+* the fast loop is at least as fast as the reference loop (a sanity
+  floor far below the committed >=1.5x threshold, which only the
+  manually-dispatched full perf job enforces).
+"""
+
+import sys
+
+from repro.config import scaled_config
+from repro.harness.perfbench import bench_cycle_loop
+
+
+def main() -> int:
+    report = bench_cycle_loop(
+        cycles=2000,
+        reps=2,
+        config=scaled_config(),
+        out_path="perf_smoke.json",
+        workload_names=["bp-iso", "cd-iso"],
+    )
+    for workload in report["workloads"]:
+        name = workload["workload"]
+        if not workload["identical"]:  # pragma: no cover - bench raises first
+            print(f"FAIL {name}: fast loop diverged from reference")
+            return 1
+        speedup = workload["speedup"]
+        print(f"ok {name}: identical, fast/reference = {speedup:.2f}x")
+        if speedup < 1.0:
+            print(f"FAIL {name}: fast loop slower than reference "
+                  f"({speedup:.2f}x)")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

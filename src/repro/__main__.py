@@ -22,8 +22,12 @@ Commands
 [--obs]``
     A mixes×schemes grid fanned out over worker processes, with
     optional live heartbeat telemetry and per-cell stall reports.
-``bench [--which cycle-loop|campaign|all] [--workers N]``
-    Wall-clock perf benchmarks; writes ``BENCH_*.json`` at the root.
+``bench [--which cycle-loop|campaign|all] [--workers N] [--reps N]
+[--workloads A,B] [--out PATH] [--check]``
+    Wall-clock perf benchmarks; writes ``BENCH_*.json`` at the root
+    (or ``--out``).  Reports carry ``git_sha``, host info and a
+    ``baseline`` block diffing the committed report; ``--check`` exits
+    1 on a >10% geomean regression.
 ``lint [paths] [--format text|json|github] [--select IDS]
 [--baseline FILE] [--write-baseline] [--list-rules]``
     AST-based simulator-invariant linter (determinism, sentinel-hook
@@ -200,19 +204,45 @@ def cmd_campaign(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.harness.perfbench import bench_campaign, bench_cycle_loop
+    regressed = False
     if args.which in ("cycle-loop", "all"):
-        report = bench_cycle_loop()
+        workload_names = (args.workloads.split(",")
+                          if args.workloads else None)
+        try:
+            report = bench_cycle_loop(reps=args.reps,
+                                      workload_names=workload_names,
+                                      out_path=args.out)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        out = args.out or "BENCH_cycle_loop.json"
         print(f"cycle loop: {report['reference_workload']} "
               f"{report['reference_workload_speedup']:.2f}x "
               f"(min {report['min_speedup']:.2f}x, "
               f"geomean {report['geomean_speedup']:.2f}x) "
-              f"-> BENCH_cycle_loop.json")
+              f"-> {out}")
+        baseline = report.get("baseline")
+        if baseline is not None:
+            print(f"  vs committed baseline: "
+                  f"{baseline['geomean_vs_baseline']:.2f}x geomean"
+                  + (" [REGRESSED]" if baseline["regressed"] else ""))
+            regressed = regressed or baseline["regressed"]
     if args.which in ("campaign", "all"):
-        report = bench_campaign(workers=args.workers)
+        report = bench_campaign(workers=args.workers,
+                                out_path=args.out
+                                if args.which == "campaign" else None)
         print(f"campaign: {report['campaign_speedup']:.2f}x end-to-end "
               f"(fast loop {report['fast_loop_speedup']:.2f}x, "
               f"{args.workers} workers {report['parallel_speedup']:.2f}x "
               f"on {report['cpu_count']} CPUs) -> BENCH_campaign.json")
+        baseline = report.get("baseline")
+        if baseline is not None and baseline["regressed"]:
+            print("  vs committed baseline: [REGRESSED]")
+            regressed = True
+    if args.check and regressed:
+        print("bench: regression beyond threshold vs committed baseline",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -298,6 +328,15 @@ def main(argv=None) -> int:
     bench.add_argument("--which", default="all",
                        choices=["cycle-loop", "campaign", "all"])
     bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--reps", type=int, default=2,
+                       help="timing repetitions per workload (best-of)")
+    bench.add_argument("--workloads", default=None,
+                       help="comma-separated cycle-loop workload subset")
+    bench.add_argument("--out", default=None,
+                       help="report path override (default: repo root)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit 1 on >10%% geomean regression vs the "
+                            "committed BENCH_*.json")
     bench.set_defaults(fn=cmd_bench)
 
     lint = sub.add_parser("lint")

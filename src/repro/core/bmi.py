@@ -48,6 +48,10 @@ class ReqPerMinstEstimator:
         self._minsts = 0
         self._reqs = 0
         self._estimate = 1
+        #: window-boundary hook (wired by the SM to the engine's event
+        #: wheel); fired when the estimate is refreshed.  None = no
+        #: listener.
+        self.on_window = None
 
     def note_mem_inst(self) -> None:
         self._minsts += 1
@@ -63,6 +67,8 @@ class ReqPerMinstEstimator:
             self._estimate = max(1, min(MAX_REQ_PER_MINST, raw))
         self._minsts = 0
         self._reqs = 0
+        if self.on_window is not None:
+            self.on_window()
 
     @property
     def value(self) -> int:
@@ -154,6 +160,10 @@ class QuotaBMI(MemIssuePolicy):
         #: below so the sentinel check is always valid).
         self._obs = None
         self._obs_key = 0
+        #: window-boundary hook (wired by the SM to the engine's event
+        #: wheel); fired on every quota replenish.  Set before the
+        #: initial replenish so the sentinel check is always valid.
+        self.on_window = None
         self._replenish()
 
     def _replenish(self) -> None:
@@ -162,6 +172,8 @@ class QuotaBMI(MemIssuePolicy):
             self.quotas[i] += quota
         if self._obs is not None:
             self._obs.qbmi_replenish(self._obs_key, self.quotas)
+        if self.on_window is not None:
+            self.on_window()
 
     def pick(self, candidate_kernels: Sequence[int]) -> int:
         best_idx = max(range(len(candidate_kernels)),

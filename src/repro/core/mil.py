@@ -55,6 +55,11 @@ class MILG:
         #: ``Observability.attach`` (None = zero-cost sentinel check).
         self._obs = None
         self._obs_key = None
+        #: window-boundary hook (wired by the SM to the engine's event
+        #: wheel): fired whenever a 1024-request window completes and
+        #: the limit is recomputed, so the cycle leap re-evaluates
+        #: issue eligibility at the next cycle.  None = no listener.
+        self.on_window = None
 
     def observe_inflight(self, inflight: int) -> None:
         if inflight > self._peak_inflight:
@@ -86,6 +91,8 @@ class MILG:
         if self._obs is not None:
             self._obs.mil_update(self._obs_key, self.limit,
                                  self.windows_completed)
+        if self.on_window is not None:
+            self.on_window()
 
     @staticmethod
     def hardware_cost() -> Dict[str, int]:

@@ -118,7 +118,12 @@ def _init_worker(config, settings: RunnerSettings, cache_dir: Optional[str],
                  iso_seed: Sequence[Tuple[Optional[int], IsoRecord]],
                  curve_seed: Sequence[ScalabilityCurve]) -> None:
     """Build this worker's private runner, pre-seeded with everything
-    the parent already knows so shared inputs are never recomputed."""
+    the parent already knows so shared inputs are never recomputed.
+
+    Constructing the runner also points the kernel-trace disk cache at
+    ``cache_dir/traces-v<CACHE_VERSION>`` (see ``ExperimentRunner``),
+    so workers share compiled trace chunks with the parent and a
+    version bump invalidates both caches together."""
     global _WORKER_RUNNER
     runner = ExperimentRunner(config, settings, cache_dir=cache_dir)
     for cycles, record in iso_seed:

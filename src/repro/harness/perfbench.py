@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -113,6 +115,105 @@ def outcome_signature(outcome: WorkloadOutcome) -> Tuple:
 
 
 # ----------------------------------------------------------------------
+# report provenance + baseline diffing
+#: a fresh geomean below this fraction of the committed baseline's
+#: throughput counts as a regression (``scripts/bench.sh --check``).
+REGRESSION_THRESHOLD = 0.9
+
+
+def _git_sha() -> Optional[str]:
+    """Current checkout's commit, or None outside a git work tree."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _host_info() -> Dict:
+    """Enough host identity to judge whether two reports are comparable
+    (wall-clock numbers from different machines are not)."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _load_baseline(path: str) -> Optional[Dict]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _cycle_loop_baseline(workloads: List[Dict],
+                         baseline: Optional[Dict]) -> Optional[Dict]:
+    """Diff fresh fast-loop throughput against the committed report.
+
+    The committed numbers are wall-clock on whichever host produced
+    them, so the block records the ratio per workload plus the geomean
+    — the regression gate ``scripts/bench.sh --check`` keys off
+    ``regressed``."""
+    if not baseline:
+        return None
+    by_name = {w.get("workload"): w for w in baseline.get("workloads", ())}
+    per_workload = {}
+    ratios = []
+    for w in workloads:
+        base = by_name.get(w["workload"])
+        if not base or not base.get("fast_cycles_per_s"):
+            continue
+        ratio = w["fast_cycles_per_s"] / base["fast_cycles_per_s"]
+        per_workload[w["workload"]] = {
+            "baseline_fast_cycles_per_s": base["fast_cycles_per_s"],
+            "fast_cycles_per_s": w["fast_cycles_per_s"],
+            "ratio": ratio,
+        }
+        ratios.append(ratio)
+    if not ratios:
+        return None
+    geomean = _geomean(ratios)
+    return {
+        "baseline_git_sha": baseline.get("git_sha"),
+        "baseline_geomean_speedup": baseline.get("geomean_speedup"),
+        "per_workload": per_workload,
+        "geomean_vs_baseline": geomean,
+        "regression_threshold": REGRESSION_THRESHOLD,
+        "regressed": geomean < REGRESSION_THRESHOLD,
+    }
+
+
+def _campaign_baseline(report: Dict,
+                       baseline: Optional[Dict]) -> Optional[Dict]:
+    """Diff the three campaign speedup layers against the committed
+    report (speedups are within-run ratios, so they transfer across
+    hosts better than raw wall times)."""
+    if not baseline:
+        return None
+    block: Dict = {"baseline_git_sha": baseline.get("git_sha")}
+    ratios = {}
+    for key in ("fast_loop_speedup", "parallel_speedup", "campaign_speedup"):
+        base = baseline.get(key)
+        cur = report.get(key)
+        if base and cur:
+            ratios[key] = {"baseline": base, "current": cur,
+                           "ratio": cur / base}
+    if not ratios:
+        return None
+    block.update(ratios)
+    headline = ratios.get("campaign_speedup", {}).get("ratio", 1.0)
+    block["regression_threshold"] = REGRESSION_THRESHOLD
+    block["regressed"] = headline < REGRESSION_THRESHOLD
+    return block
+
+
+# ----------------------------------------------------------------------
 # cycle-loop benchmark
 def _build_gpu(kernels: Sequence[str], tb_limits, config: GPUConfig,
                reference: bool, seed: int = 0) -> GPU:
@@ -134,15 +235,26 @@ def _time_run(kernels: Sequence[str], tb_limits, config: GPUConfig,
 
 def bench_cycle_loop(cycles: int = 2500, reps: int = 2,
                      config: Optional[GPUConfig] = None,
-                     out_path: Optional[str] = None) -> Dict:
+                     out_path: Optional[str] = None,
+                     workload_names: Optional[Sequence[str]] = None) -> Dict:
     """Fast-loop vs reference-loop cycles/sec, workload by workload.
 
-    Raises ``AssertionError`` if any workload's fast run is not
-    bit-identical to its reference run.
+    ``workload_names`` selects a subset of :data:`CYCLE_LOOP_WORKLOADS`
+    (None = the full suite).  Raises ``AssertionError`` if any
+    workload's fast run is not bit-identical to its reference run.
     """
     config = config or GPUConfig()
+    if workload_names is None:
+        selected = CYCLE_LOOP_WORKLOADS
+    else:
+        known = {w[0]: w for w in CYCLE_LOOP_WORKLOADS}
+        unknown = [n for n in workload_names if n not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {unknown}; choices: {sorted(known)}")
+        selected = tuple(known[n] for n in workload_names)
     workloads = []
-    for name, kernels, tb_limits in CYCLE_LOOP_WORKLOADS:
+    for name, kernels, tb_limits in selected:
         ref_best = fast_best = float("inf")
         ref_sig = fast_sig = None
         for _ in range(max(1, reps)):
@@ -171,20 +283,25 @@ def bench_cycle_loop(cycles: int = 2500, reps: int = 2,
             "identical": True,
         })
     speedups = [w["speedup"] for w in workloads]
-    reference = next(w for w in workloads
-                     if w["workload"] == REFERENCE_WORKLOAD)
+    reference = next((w for w in workloads
+                      if w["workload"] == REFERENCE_WORKLOAD), workloads[0])
     report = {
         "benchmark": "cycle_loop",
         "config": "paper-table1-default",
+        "git_sha": _git_sha(),
+        "host": _host_info(),
         "num_sms": config.num_sms,
         "cpu_count": os.cpu_count(),
         "reps": reps,
         "workloads": workloads,
-        "reference_workload": REFERENCE_WORKLOAD,
+        "reference_workload": reference["workload"],
         "reference_workload_speedup": reference["speedup"],
         "min_speedup": min(speedups),
         "geomean_speedup": _geomean(speedups),
     }
+    # Diff against the committed report *before* overwriting it.
+    committed = _load_baseline(_root_path(CYCLE_LOOP_REPORT))
+    report["baseline"] = _cycle_loop_baseline(workloads, committed)
     _write_report(report, out_path or _root_path(CYCLE_LOOP_REPORT))
     return report
 
@@ -262,6 +379,8 @@ def bench_campaign(workers: int = 4,
     report = {
         "benchmark": "campaign",
         "config": "paper-table1-default",
+        "git_sha": _git_sha(),
+        "host": _host_info(),
         "mixes": [list(m) for m in CAMPAIGN_MIXES],
         "schemes": list(CAMPAIGN_SCHEMES),
         "settings": dict(CAMPAIGN_SETTINGS),
@@ -276,6 +395,8 @@ def bench_campaign(workers: int = 4,
         "campaign_speedup": ref_s / par_s,
         "identical": True,
     }
+    committed = _load_baseline(_root_path(CAMPAIGN_REPORT))
+    report["baseline"] = _campaign_baseline(report, committed)
     _write_report(report, out_path or _root_path(CAMPAIGN_REPORT))
     return report
 

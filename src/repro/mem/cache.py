@@ -259,6 +259,7 @@ class L1DCache:
         """
         kernel = request.kernel
         line_addr = request.line
+        stats = self.stats
 
         if request.bypass and not request.is_write:
             # Cache bypassing (§4.5): skip lookup and allocation — the
@@ -266,10 +267,10 @@ class L1DCache:
             # relieves L1 contention but offloads every transaction to
             # the lower levels.
             if self.miss_queue_full:
-                self.stats.rsfails[kernel] += 1
-                self.stats.rsfail_reasons[AccessResult.RSFAIL_MISSQ] += 1
+                stats.rsfails[kernel] += 1
+                stats.rsfail_reasons[AccessResult.RSFAIL_MISSQ] += 1
                 return AccessResult.RSFAIL_MISSQ
-            self.stats.bypasses[kernel] += 1
+            stats.bypasses[kernel] += 1
             self.miss_queue.append(request)
             return AccessResult.MISS
 
@@ -278,29 +279,27 @@ class L1DCache:
             # miss-queue slot to travel to L2; it never allocates and
             # never uses an MSHR.
             if self.miss_queue_full:
-                self.stats.rsfails[kernel] += 1
-                self.stats.rsfail_reasons[AccessResult.RSFAIL_MISSQ] += 1
+                stats.rsfails[kernel] += 1
+                stats.rsfail_reasons[AccessResult.RSFAIL_MISSQ] += 1
                 return AccessResult.RSFAIL_MISSQ
-            self.stats.writes[kernel] += 1
+            stats.writes[kernel] += 1
             self.tags.invalidate(line_addr)
             self.miss_queue.append(request)
             return AccessResult.MISS
 
-        self.stats.accesses[kernel] += 1
+        stats.accesses[kernel] += 1
         line = self.tags.lookup(line_addr)
-        if line is not None and line.valid:
-            self.stats.hits[kernel] += 1
-            return AccessResult.HIT
-
-        if line is not None and line.reserved:
-            # Secondary miss: merge into the outstanding MSHR.
-            if not self.mshrs.can_merge(line_addr):
-                self.stats.accesses[kernel] -= 1
-                self.stats.rsfails[kernel] += 1
-                self.stats.rsfail_reasons[AccessResult.RSFAIL_MERGE] += 1
+        if line is not None:
+            if line.valid:
+                stats.hits[kernel] += 1
+                return AccessResult.HIT
+            # Secondary miss (reserved line): merge into the MSHR.
+            if not self.mshrs.try_merge(line_addr, request):
+                stats.accesses[kernel] -= 1
+                stats.rsfails[kernel] += 1
+                stats.rsfail_reasons[AccessResult.RSFAIL_MERGE] += 1
                 return AccessResult.RSFAIL_MERGE
-            self.mshrs.merge(line_addr, request)
-            self.stats.misses[kernel] += 1
+            stats.misses[kernel] += 1
             return AccessResult.MISS_MERGED
 
         # Primary miss: need line slot + MSHR + miss-queue entry.
@@ -314,14 +313,14 @@ class L1DCache:
             if not ok:
                 failure = AccessResult.RSFAIL_LINE
         if failure is not None:
-            self.stats.accesses[kernel] -= 1
-            self.stats.rsfails[kernel] += 1
-            self.stats.rsfail_reasons[failure] += 1
+            stats.accesses[kernel] -= 1
+            stats.rsfails[kernel] += 1
+            stats.rsfail_reasons[failure] += 1
             return failure
 
         self.mshrs.allocate(line_addr, kernel, request)
         self.miss_queue.append(request)
-        self.stats.misses[kernel] += 1
+        stats.misses[kernel] += 1
         return AccessResult.MISS
 
     def fill(self, line_addr: int) -> List[object]:

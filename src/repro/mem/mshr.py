@@ -55,6 +55,18 @@ class MSHRFile:
         entry = self._entries.get(line_addr)
         return entry is not None and len(entry.waiters) < self.merge_limit
 
+    def try_merge(self, line_addr: int, waiter: object) -> bool:
+        """Fused :meth:`can_merge` + :meth:`merge` (one entry lookup):
+        attach ``waiter`` if the entry exists and has a merge slot."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            return False
+        waiters = entry.waiters
+        if len(waiters) >= self.merge_limit:
+            return False
+        waiters.append(waiter)
+        return True
+
     def allocate(self, line_addr: int, kernel: int, waiter: object) -> MSHREntry:
         """Allocate an entry for a primary miss."""
         entries = self._entries

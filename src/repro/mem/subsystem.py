@@ -64,17 +64,28 @@ class MemRequest:
 class MemorySubsystem:
     """Shared backend for all SMs: interconnect + L2 + DRAM."""
 
-    def __init__(self, config: GPUConfig, fastpath: bool = True, obs=None):
+    def __init__(self, config: GPUConfig, fastpath: bool = True, obs=None,
+                 wheel=None):
         self.config = config
         #: observability collector (None = zero-cost sentinel checks).
         self._obs = obs
+        #: the engine's unified event wheel: every scheduled event and
+        #: every DRAM service completion is posted so the engine's
+        #: cycle leap sees backend activity without scanning the heap
+        #: and channels.  Standalone subsystems get a private wheel.
+        if wheel is None:
+            # Imported lazily: repro.sim.lsu imports this module, so a
+            # top-level import of repro.sim.wheel would be circular.
+            from repro.sim.wheel import EventWheel
+            wheel = EventWheel()
+        self.wheel = wheel
         self.l1s: List[L1DCache] = [L1DCache(config.l1d) for _ in range(config.num_sms)]
         self.icnt = Interconnect(config)
         self.l2_tags = SetAssocCache(config.l2)
         self.l2_mshrs = MSHRFile(config.l2.mshrs, merge_limit=16)
         self.l2_stats = CacheStats()
         self.l2_in: Deque[MemRequest] = deque()
-        self.dram = DRAMModel(config)
+        self.dram = DRAMModel(config, wheel=wheel)
         self._line_flits = Interconnect.line_flits(config)
         self._l2_hit_latency = config.l2.hit_latency
         self._icnt_latency = config.icnt_latency
@@ -104,6 +115,7 @@ class MemorySubsystem:
         if bucket is None:
             self._events[cycle] = [(kind, payload)]
             heapq.heappush(self._event_heap, cycle)
+            self.wheel.post(cycle)
         else:
             bucket.append((kind, payload))
 
@@ -157,6 +169,21 @@ class MemorySubsystem:
         self._drain_l1_miss_queues(cycle)
         return False
 
+    def leapable(self) -> bool:
+        """True when no backend queue holds retrying work — the
+        precondition for the engine's cycle leap.  With the queues
+        drained, every future backend state change is reachable only
+        through a scheduled event or a DRAM service completion, both of
+        which were posted to the engine's event wheel when created; the
+        wheel therefore bounds the leap.  (``next_activity`` below is
+        the scan-based oracle this is validated against in tests.)"""
+        if self.l2_in or self._rsp_queue:
+            return False
+        for queue in self._miss_queues:
+            if queue:
+                return False
+        return True
+
     def next_activity(self, cycle: int) -> int:
         """Earliest future cycle at which the backend can make progress,
         assuming no new requests arrive.  ``cycle + 1`` when queued work
@@ -164,7 +191,12 @@ class MemorySubsystem:
         the next due event and the first DRAM channel service-completion
         (post-tick, every non-empty channel is busy past ``cycle``).
         Cycles strictly before the returned one are provably no-ops for
-        the backend, which is what lets the engine leap over them."""
+        the backend, which is what lets the engine leap over them.
+
+        Since the event wheel took over the engine's leap this scan is
+        off the hot path; it remains as the oracle the wheel-driven
+        leap is tested against (the wheel may only ever be
+        *conservative* — wake earlier than this, never later)."""
         if self.l2_in or self._rsp_queue:
             return cycle + 1
         for queue in self._miss_queues:
@@ -176,6 +208,10 @@ class MemorySubsystem:
             for channel in self.dram.channels:
                 if channel.queue and channel.busy_until < nxt:
                     nxt = channel.busy_until
+            # An enqueued-but-unserved entry (stale busy_until) makes
+            # progress on the very next DRAM tick.
+            if nxt <= cycle:
+                nxt = cycle + 1
         return nxt
 
     def skip_cycles(self, count: int) -> None:
@@ -214,7 +250,7 @@ class MemorySubsystem:
                 return
             request = self.l2_in[0]
             if request.is_write:
-                self._l2_write(request)
+                self._l2_write(request, cycle)
                 self.l2_in.popleft()
                 if self._obs is not None:
                     # WEWN stores carry no dependence: the lifetime
@@ -226,13 +262,19 @@ class MemorySubsystem:
                 return
             self.l2_in.popleft()
 
-    def _l2_write(self, request: MemRequest) -> None:
+    def _l2_write(self, request: MemRequest, cycle: int) -> None:
         self.l2_stats.writes[request.kernel] += 1
         line = self.l2_tags.lookup(request.line)
         if line is not None and line.valid:
             line.dirty = True
         else:
-            self.dram.enqueue_write(request.line)
+            if (self.dram.enqueue_write(request.line)
+                    and self.dram.channel_for(request.line).busy_until
+                    <= cycle):
+                # Same wheel obligation as reads: the write's service
+                # (which the DRAM counters in the result signature see)
+                # must not be leapt over before it starts.
+                self.wheel.post(cycle + 1)
 
     def _l2_read(self, request: MemRequest, cycle: int) -> bool:
         """Returns False when the head must stall (resource shortage)."""
@@ -275,10 +317,26 @@ class MemorySubsystem:
             return False
         self.l2_mshrs.allocate(line_addr, kernel, request)
         self.dram.enqueue_read(line_addr, line_addr)
+        # An *idle* channel won't start service until the next DRAM
+        # tick and only posts its busy_until then — between enqueue
+        # and that tick the wheel would otherwise hold no entry for
+        # this read, and a fully-asleep engine could leap straight
+        # past it.  Pin the next cycle (conservative: at worst one
+        # inert wake tick).  A *busy* channel is already chained in
+        # the wheel: its current busy_until was posted at service
+        # start, and the tick at that cycle pops this entry and posts
+        # the next link.
+        if self.dram.channel_for(line_addr).busy_until <= cycle:
+            self.wheel.post(cycle + 1)
         if evicted_dirty:
             # Best-effort: the writeback may be dropped if its channel
-            # is saturated (bandwidth-only traffic).
-            self.dram.enqueue_write(evicted_tag)
+            # is saturated (bandwidth-only traffic).  Same idle-channel
+            # wheel obligation as above (the writeback may land on a
+            # different channel than the read).
+            if (self.dram.enqueue_write(evicted_tag)
+                    and self.dram.channel_for(evicted_tag).busy_until
+                    <= cycle):
+                self.wheel.post(cycle + 1)
         stats.accesses[kernel] += 1
         stats.misses[kernel] += 1
         if self._obs is not None:

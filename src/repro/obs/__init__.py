@@ -29,7 +29,7 @@ bit-identical (the perf suite proves fast == reference on every run).
 """
 
 from repro.obs.collector import Observability, ObsOptions, ObsReport
-from repro.obs.registry import Counter, CounterRegistry, Gauge
+from repro.obs.registry import Counter, CounterRegistry, Gauge, process_registry
 from repro.obs.stalls import (
     ISSUED,
     LSU_STALL_REASONS,
@@ -71,4 +71,5 @@ __all__ = [
     "StallTable",
     "TraceRecorder",
     "format_stall_report",
+    "process_registry",
 ]

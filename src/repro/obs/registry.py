@@ -215,3 +215,15 @@ def aggregate(snapshot: Dict[str, Number], pattern: str) -> Number:
     """:meth:`CounterRegistry.total` over an already-taken snapshot."""
     return sum(v for name, v in snapshot.items()
                if fnmatchcase(name, pattern))
+
+
+#: process-wide registry for infrastructure metrics that outlive any
+#: single run or Observability instance (e.g. ``trace_cache.*`` from
+#: :mod:`repro.workloads.trace`).  Per-run simulator metrics belong on
+#: the per-``Observability`` registries instead.
+_PROCESS_REGISTRY = CounterRegistry()
+
+
+def process_registry() -> CounterRegistry:
+    """The process-wide :class:`CounterRegistry` singleton."""
+    return _PROCESS_REGISTRY

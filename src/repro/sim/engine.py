@@ -19,7 +19,9 @@ from repro.mem.subsystem import MemorySubsystem
 from repro.obs.collector import ObsLike, resolve_obs
 from repro.sim.sm import StreamingMultiprocessor
 from repro.sim.stats import KernelStats, RunResult, TimelineRecorder
-from repro.workloads.kernel import InstructionStream, KernelProfile
+from repro.sim.wheel import EventWheel
+from repro.workloads import trace as ktrace
+from repro.workloads.kernel import InstructionStream, KernelProfile, ReplayStream
 
 #: address-space stride separating kernel instances (in lines).
 KERNEL_REGION_LINES = 1 << 40
@@ -38,13 +40,29 @@ class KernelLaunch:
         self.base_line = slot * KERNEL_REGION_LINES
         self.pattern = profile.pattern_factory()
         self._warp_counter = itertools.count()
+        self._stream_seed = seed * 7919 + slot
+        # Precompiled trace for this (profile, seed), shared process-
+        # wide; None when the profile is untraceable or tracing is
+        # disabled (REPRO_NO_TRACE=1) — then streams fall back to live
+        # RNG generation.  Replay is bit-identical either way, so both
+        # the fast and the reference loop replay the same arrays.
+        self.trace = ktrace.get_trace(profile, self._stream_seed)
 
     def next_warp_index(self) -> int:
         return next(self._warp_counter)
 
-    def new_stream(self, warp_index: int) -> InstructionStream:
+    def new_stream(self, warp_index: int):
+        # Streams rebase their region-local lines by base_line up
+        # front, so every descriptor they hand the SM is already in
+        # global line space (one rebase per stream, not per issue).
+        trace = self.trace
+        if trace is not None:
+            ops, lines = trace.warp_arrays(warp_index)
+            return ReplayStream(self.profile, ops, lines,
+                                base_line=self.base_line)
         return InstructionStream(self.profile, self.pattern, warp_index,
-                                 seed=self.seed * 7919 + self.slot)
+                                 seed=self._stream_seed,
+                                 base_line=self.base_line)
 
 
 def make_launches(
@@ -112,8 +130,13 @@ class GPU:
         self.config = config
         self.launches = launches
         self.scheme = scheme or SchemeConfig()
+        #: the unified event wheel: every component posts its future
+        #: activity cycles here, so the fast loop's leap target is one
+        #: amortised O(1) query instead of a scan over schedulers, SMs,
+        #: the event heap and the DRAM channels.
+        self.wheel = EventWheel()
         self.memory = MemorySubsystem(config, fastpath=not reference,
-                                      obs=self.obs)
+                                      obs=self.obs, wheel=self.wheel)
         self.timeline = (TimelineRecorder(timeline_interval)
                          if timeline_interval else None)
         self.kernel_stats: Dict[int, KernelStats] = {
@@ -129,7 +152,7 @@ class GPU:
             self.sms.append(StreamingMultiprocessor(
                 sm_id, config, l1, launches, bundle,
                 self.kernel_stats, self.timeline, fastpath=not reference,
-                obs=self.obs))
+                obs=self.obs, wheel=self.wheel))
         self.cycles_run = 0
         if self.obs is not None:
             self.obs.attach(self)
@@ -169,44 +192,51 @@ class GPU:
             self.cycles_run = end
             return self._collect()
         # Fast loop with a latency-shadow leap: when every SM is asleep
-        # past cycle+1, nothing can happen until the earliest of (SM
-        # wake, next backend activity) — jump there directly.  The
-        # backend accounts for the leapt cycles in one batch
-        # (skip_cycles, a provable no-op replay); each SM's tick
-        # catches up its rotation state from the cycle gap.  The wake
-        # scan early-exits on the first busy SM, so saturated phases
-        # pay almost nothing for the check.
+        # past cycle+1 and the backend queues are drained, nothing can
+        # happen until the earliest posted wheel event — jump there
+        # directly.  SM sleeps, scheduler wakes, scheduled memory
+        # events and DRAM service completions all post their cycles
+        # into the wheel, so the leap target is one amortised-O(1)
+        # query instead of a scan over every component.  The backend
+        # accounts for the leapt cycles in one batch (skip_cycles, a
+        # provable no-op replay); each SM's tick catches up its
+        # rotation state from the cycle gap.  The sleep scan
+        # early-exits on the first awake SM, so saturated phases pay
+        # almost nothing for the check.  Stale wheel entries (events
+        # that resolved early) at worst wake the engine for one inert
+        # tick — exactly what the reference loop would have executed.
         sms = self.sms
-        next_activity = self.memory.next_activity
+        leapable = self.memory.leapable
         skip_cycles = self.memory.skip_cycles
-        never = 1 << 62
+        wheel_next = self.wheel.next_after
         cycle = start
         while cycle < end:
             memory_tick(cycle)
             for sm_tick in sm_ticks:
                 sm_tick(cycle)
             nxt = cycle + 1
-            wake = never
             for sm in sms:
-                su = sm._sleep_until
-                if su < wake:
-                    wake = su
-                    if wake <= nxt:
-                        break
-            if wake > nxt:
-                target = next_activity(cycle)
-                if wake < target:
-                    target = wake
-                if target > end:
-                    target = end
-                if target > nxt:
-                    skip_cycles(target - nxt)
-                    nxt = target
+                if sm._sleep_until <= nxt:
+                    break
+            else:
+                if leapable():
+                    target = wheel_next(cycle)
+                    if target > end:
+                        target = end
+                    if target > nxt:
+                        skip_cycles(target - nxt)
+                        nxt = target
             cycle = nxt
         self.cycles_run = end
         return self._collect()
 
     def _collect(self) -> RunResult:
+        for sm in self.sms:
+            # Settle any batched LSU stall accounting and burst-sleep
+            # issue accounting before the stats reads below (see
+            # LoadStoreUnit._flush_stall_debt and SM._settle_sleep_debt).
+            sm.lsu._flush_stall_debt()
+            sm._settle_sleep_debt(self.cycles_run)
         cfg = self.config
         cycles = self.cycles_run
         slots = [launch.slot for launch in self.launches]

@@ -25,10 +25,16 @@ from repro.sim.warp import MemInst
 LSU_QUEUE_DEPTH = 8
 
 _MISSES = (AccessResult.MISS, AccessResult.MISS_MERGED)
+_RSFAILS = AccessResult.RSFAILS
 
 
 class LoadStoreUnit:
     """Per-SM memory pipeline."""
+
+    __slots__ = ("sm_id", "l1", "queue_depth", "width", "queue",
+                 "_current_request", "_stall_memo", "use_stall_memo",
+                 "_stall_owed", "stall_cycles", "busy_cycles",
+                 "bypass_by_kernel", "_obs")
 
     def __init__(self, sm_id: int, l1: L1DCache, queue_depth: int = LSU_QUEUE_DEPTH,
                  width: int = 2):
@@ -50,6 +56,13 @@ class LoadStoreUnit:
         #: memo is validated against (the SM clears the flag).
         self._stall_memo = None
         self.use_stall_memo = True
+        #: replayed-stall cycles whose stats bumps are deferred (memo
+        #: valid + every per-stall hook inert): the whole stretch is
+        #: paid in one batch when the stall breaks (``_flush_stall_debt``)
+        #: or at result collection.  Observable state is identical to
+        #: per-cycle replay because nothing reads the counters while
+        #: the debt is outstanding.
+        self._stall_owed = 0
         self.stall_cycles = 0
         self.busy_cycles = 0
         #: kernel -> L1D-bypass verdict, filled in by the owning SM
@@ -61,6 +74,23 @@ class LoadStoreUnit:
 
     def can_accept(self) -> bool:
         return len(self.queue) < self.queue_depth
+
+    def _flush_stall_debt(self) -> None:
+        """Settle deferred stall replays: pay the owed stats bumps and
+        stall cycles for the memoised verdict in one batch.  Must run
+        before anything reads ``stall_cycles`` or the L1 stats (the
+        engine's result collection does) and whenever the memo's
+        premise breaks."""
+        owed = self._stall_owed
+        if not owed:
+            return
+        self._stall_owed = 0
+        memo = self._stall_memo
+        request, _, _, result = memo
+        stats = self.l1.stats
+        stats.rsfails[request.kernel] += owed
+        stats.rsfail_reasons[result] += owed
+        self.stall_cycles += owed
 
     def enqueue(self, inst: MemInst) -> None:
         if not self.can_accept():
@@ -78,9 +108,18 @@ class LoadStoreUnit:
             return
         l1 = self.l1
         l1_access = l1.access
-        rsfails = AccessResult.RSFAILS
+        rsfails = _RSFAILS
         bypass_map = self.bypass_by_kernel
         obs = self._obs
+        on_request_issued = sm.on_request_issued
+        # With every scheme hook inert and no timeline, the SM's
+        # on_request_issued reduces to one stats bump — inline it.
+        # (getattr: unit-test fakes advertise inert hooks without
+        # carrying the timeline attribute.)
+        if sm._mem_hooks_inert and getattr(sm, "timeline", None) is None:
+            kernel_stats = sm.kernel_stats
+        else:
+            kernel_stats = None
         busy = False
         for _ in range(self.width):
             if not queue:
@@ -96,29 +135,39 @@ class LoadStoreUnit:
                 else:
                     bypass = sm.bundle.bypasses_l1d(inst.kernel)
                 request = MemRequest(
-                    line=inst.lines[inst.next_idx],
-                    kernel=inst.kernel,
-                    sm_id=self.sm_id,
-                    is_write=is_store,
-                    meminst=None if is_store else inst,
-                    issued_cycle=cycle,
-                    bypass=bypass,
+                    inst.lines[inst.next_idx],
+                    inst.kernel,
+                    self.sm_id,
+                    is_store,
+                    None if is_store else inst,
+                    cycle,
+                    bypass,
                 )
                 self._current_request = request
                 if obs is not None:
                     obs.mem_request_created(request, cycle)
 
             memo = self._stall_memo
-            if (memo is not None and memo[0] is request
-                    and memo[1] == l1.version
-                    and memo[2] is l1.tags.partition):
-                # Nothing a failing lookup depends on changed since the
-                # last replay: replay the verdict and its stats bumps
-                # without walking the cache.
-                result = memo[3]
-                stats = l1.stats
-                stats.rsfails[request.kernel] += 1
-                stats.rsfail_reasons[result] += 1
+            if memo is not None:
+                if (memo[0] is request and memo[1] == l1.version
+                        and memo[2] is l1.tags.partition):
+                    # Nothing a failing lookup depends on changed since
+                    # the last replay: replay the verdict and its stats
+                    # bumps without walking the cache.  When every
+                    # per-stall hook is inert (baseline schemes, no
+                    # observability) even the bumps are deferred — the
+                    # owed count is settled when the stall breaks.
+                    if obs is None and sm._mem_hooks_inert:
+                        self._stall_owed += 1
+                        return
+                    result = memo[3]
+                    stats = l1.stats
+                    stats.rsfails[request.kernel] += 1
+                    stats.rsfail_reasons[result] += 1
+                else:
+                    if self._stall_owed:
+                        self._flush_stall_debt()
+                    result = l1_access(request, cycle)
             else:
                 result = l1_access(request, cycle)
             if result in rsfails:
@@ -136,13 +185,24 @@ class LoadStoreUnit:
             busy = True
             self._stall_memo = None
             self._current_request = None
-            waits = not inst.is_store and result in _MISSES
-            inst.note_request_sent(waits_for_data=waits)
-            sm.on_request_issued(request, result, cycle)
+            # Inlined MemInst.note_request_sent + maybe_complete: one
+            # request accepted, and the instruction leaves the queue
+            # (completing unless fills are still owed) once its last
+            # line went out.
+            next_idx = inst.next_idx + 1
+            inst.next_idx = next_idx
+            if not inst.is_store and result in _MISSES:
+                inst.pending += 1
+            if kernel_stats is not None:
+                kernel_stats[request.kernel].mem_requests += 1
+            else:
+                on_request_issued(request, result, cycle)
             if obs is not None:
                 obs.mem_request_l1(request, result, cycle)
-            if inst.next_idx >= len(inst.lines):
+            if next_idx >= len(inst.lines):
                 queue.popleft()
-                inst.maybe_complete(cycle)
+                if not (inst._completed or inst.pending):
+                    inst._completed = True
+                    inst.on_complete(inst, cycle)
         if busy:
             self.busy_cycles += 1

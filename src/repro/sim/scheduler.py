@@ -66,7 +66,9 @@ class WarpScheduler:
 
     __slots__ = ("sched_id", "policy", "warps", "sm", "_greedy", "_lrr_pos",
                  "_is_lrr", "_fastpath", "_next_wake", "_gto_order",
-                 "_gto_dirty", "_rot_buf", "_sel")
+                 "_gto_dirty", "_rot_buf", "_sel", "_auto_warp",
+                 "_auto_left", "_auto_stats", "_mem_stalled", "_mem_wake",
+                 "_scan")
 
     def __init__(self, sched_id: int, policy: str, fastpath: bool = True):
         if policy not in ("gto", "lrr"):
@@ -90,6 +92,40 @@ class WarpScheduler:
         #: reusable Selection for the fast path: one live selection per
         #: scheduler per cycle, consumed by the SM before the next call.
         self._sel: Selection = Selection.__new__(Selection)
+        #: issue autopilot (fast path, GTO only): after a compute issue
+        #: the issuing warp is the greedy warp, and while its stream
+        #: head is a run of ALU ops every per-cycle selection provably
+        #: re-picks it (greedy is priority[0]; ALU has no port limit;
+        #: ready_at advances by 1; outstanding loads only decrease).
+        #: The SM burns the run down without calling select() at all.
+        self._auto_warp: Optional[Warp] = None
+        self._auto_left = 0
+        #: the burst warp's KernelStats, cached at arming so each burst
+        #: pop skips the per-kernel stats lookup.
+        self._auto_stats = None
+        #: scan list (GTO fast path): the age-sorted subset of ``warps``
+        #: that selection could possibly pick — everything except warps
+        #: blocked on the MLP cap (a full complement of outstanding
+        #: loads) or drained (stream exhausted, awaiting retirement).
+        #: Those two states change only at explicit events (a load
+        #: issue, a load return, a stream-emptying pop), so the SM's
+        #: issue/completion paths maintain membership exactly via
+        #: :meth:`scan_block`/:meth:`scan_unblock` and the hot scan
+        #: skips permanently-ineligible warps without touching them.
+        #: The reference scan (:meth:`_select_reference`) and LRR keep
+        #: iterating ``warps`` — the list this one is proven against.
+        self._scan: List[Warp] = []
+        #: memory-pipeline-stall memo (fast path, ungated runs): set
+        #: when a scan under ``mem_ok=None`` (LSU full) found ready
+        #: warps but every one of them holds a memory instruction —
+        #: the paper's signature stall.  The verdict cannot change
+        #: while the LSU stays full, until ``_mem_wake`` (the earliest
+        #: ready_at of a latency-blocked warp, whose head may be
+        #: compute) or an invalidating event: an issue (note_issued),
+        #: a load return (wake_at), or a membership change.  The SM
+        #: skips select() outright while the memo holds.
+        self._mem_stalled = False
+        self._mem_wake = 0
 
     # ------------------------------------------------------------------
     def add_warp(self, warp: Warp) -> None:
@@ -97,35 +133,99 @@ class WarpScheduler:
         # out with monotonically increasing ages, so this is an append
         # in practice, but insort keeps manual test setups correct too.
         insort(self.warps, warp, key=_age_of)
+        # A fresh warp has no outstanding loads and a non-empty stream:
+        # always scannable.
+        insort(self._scan, warp, key=_age_of)
         warp.sched = self
         self._gto_dirty = True
         self._next_wake = 0
+        self._mem_stalled = False
         sm = self.sm
         if sm is not None:
             sm._sleep_until = 0
 
     def remove_warp(self, warp: Warp) -> None:
         self.warps.remove(warp)
+        scan = self._scan
+        if warp in scan:
+            scan.remove(warp)
         warp.sched = None
+        self._mem_stalled = False
         if self._greedy is warp:
             self._greedy = None
+        if self._auto_warp is warp:
+            # Cannot fire mid-burst in the simulator (a warp with ALU
+            # ops left never retires), but manual test setups may.
+            self._auto_warp = None
+            self._auto_left = 0
         self._gto_dirty = True
 
+    def scan_block(self, warp: Warp) -> None:
+        """``warp`` became provably unscannable (MLP-capped or drained):
+        drop it from the scan list until :meth:`scan_unblock`.  The
+        caller guarantees the warp was scannable (it just issued).
+
+        A clean GTO order is patched in place rather than marked dirty:
+        the order invariant (the greedy warp first when present, the
+        rest age-sorted) survives removing any one element, so a full
+        rebuild on the next select() would produce exactly this list."""
+        self._scan.remove(warp)
+        if self._gto_dirty:
+            return
+        self._gto_order.remove(warp)
+
+    def scan_unblock(self, warp: Warp) -> None:
+        """A load return dropped ``warp`` below its MLP cap: restore it
+        to the scan list (the caller guarantees it was blocked and its
+        stream has work left).  Like :meth:`scan_block`, a clean GTO
+        order is patched in place: the returning warp goes to the front
+        if it is the greedy warp (rebuilds always front the greedy warp
+        regardless of age), else into the age-sorted tail."""
+        insort(self._scan, warp, key=_age_of)
+        if self._gto_dirty:
+            return
+        order = self._gto_order
+        if warp is self._greedy:
+            order.insert(0, warp)
+            return
+        lo = 1 if (order and order[0] is self._greedy) else 0
+        hi = len(order)
+        age = warp.age
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if order[mid].age < age:
+                lo = mid + 1
+            else:
+                hi = mid
+        order.insert(lo, warp)
+
     def note_issued(self, warp: Warp) -> None:
-        """Record the issuing warp (updates GTO greediness)."""
+        """Record the issuing warp (updates GTO greediness).
+
+        Any issue invalidates the memory-stall memo: the issued
+        instruction changes its warp's head op, so a later LSU-full
+        scan must re-derive the all-heads-are-memory verdict."""
+        self._mem_stalled = False
         if self._greedy is not warp:
             self._greedy = warp
             self._gto_dirty = True
 
     def wake_at(self, cycle: int) -> None:
         """An external event (a load return) made a warp potentially
-        issuable at ``cycle``: lower the sleep hint accordingly, and
-        the owning SM's whole-tick sleep with it."""
+        issuable at ``cycle``: lower the sleep hint accordingly, the
+        owning SM's whole-tick sleep with it, and post the new wake to
+        the engine's event wheel so the cycle leap sees it."""
+        # A load return can un-block an MLP-capped warp (or retire a
+        # drained one): the memory-stall memo's premise is gone.
+        self._mem_stalled = False
         if cycle < self._next_wake:
             self._next_wake = cycle
         sm = self.sm
         if sm is not None and cycle < sm._sleep_until:
             sm._sleep_until = cycle
+            wheel = sm._wheel
+            if wheel is not None:
+                wheel.post(cycle)
 
     # ------------------------------------------------------------------
     def _priority_order(self) -> List[Warp]:
@@ -149,11 +249,14 @@ class WarpScheduler:
 
     def _rebuild_gto_order(self) -> None:
         # C-level copy + remove/insert: greedy changes on most issues in
-        # memory-bound phases, so rebuild cost is on the hot path.
+        # memory-bound phases, so rebuild cost is on the hot path.  The
+        # order is built from the scan list — MLP-blocked and drained
+        # warps would be skipped by the scan anyway (and stay fully
+        # visible to the reference path via ``warps``).
         order = self._gto_order
-        order[:] = self.warps
+        order[:] = self._scan
         greedy = self._greedy
-        if greedy is not None:
+        if greedy is not None and greedy in order:
             order.remove(greedy)
             order.insert(0, greedy)
         self._gto_dirty = False
@@ -173,12 +276,14 @@ class WarpScheduler:
         must be side-effect-free: the scheduler calls them only for
         candidates that matter.
 
-        The fast path accepts two extra sentinels that let the SM
+        The fast path accepts three extra sentinels that let the SM
         pre-resolve per-cycle verdicts: ``mem_ok=None`` means *no*
         memory instruction can issue this cycle (LSU full — the common
-        memory-pipeline-stall case this paper studies), and
+        memory-pipeline-stall case this paper studies), ``mem_ok=True``
+        means *every* kernel's memory instructions may issue (LSU free,
+        no gate, unlimited MIL — the common baseline case), and
         ``compute_ok=None`` means *every* compute port is available.
-        Both produce exactly the skips the callbacks would.
+        All produce exactly the verdicts the callbacks would.
 
         The first issuable warp in priority order wins.  Warps whose
         memory instruction is gated (``mem_ok`` False) are skipped —
@@ -261,7 +366,7 @@ class WarpScheduler:
                 return sel
             # memory instruction
             if (mem_ok is not None and primary_warp is None
-                    and mem_ok(warp, op)):
+                    and (mem_ok is True or mem_ok(warp, op))):
                 primary_warp = warp
                 primary_op = op
                 # keep scanning for a compute fallback
@@ -270,6 +375,15 @@ class WarpScheduler:
                 # Nothing was even latency-ready: sleep until the
                 # earliest ready_at (or an external wake_at event).
                 self._next_wake = wake
+            elif mem_ok is None and compute_ok is None and warp_gated is None:
+                # Ready warps exist but none issued, the LSU is full
+                # and no port/gate was limiting: every ready warp holds
+                # a memory instruction.  That verdict is frozen while
+                # the LSU stays full — until a latency-blocked warp
+                # (possibly compute-headed) becomes ready at ``wake``,
+                # or an invalidating event clears the memo.
+                self._mem_stalled = True
+                self._mem_wake = wake
             return None
         sel = self._sel
         sel.warp = primary_warp

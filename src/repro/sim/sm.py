@@ -22,7 +22,8 @@ from typing import Dict, List, Optional
 
 from repro.config import GPUConfig
 from repro.core.arbiter import SchemeBundle
-from repro.core.mil import NoLimit
+from repro.core.bmi import MemIssuePolicy, UnmanagedIssue
+from repro.core.mil import MemInstLimiter, NoLimit
 from repro.mem.cache import L1DCache
 from repro.obs.stalls import (
     ISSUED,
@@ -62,7 +63,7 @@ class StreamingMultiprocessor:
                  launches: List, bundle: SchemeBundle,
                  kernel_stats: Dict[int, KernelStats],
                  timeline: Optional[TimelineRecorder] = None,
-                 fastpath: bool = True, obs=None):
+                 fastpath: bool = True, obs=None, wheel=None):
         self.sm_id = sm_id
         self.config = config
         self.l1 = l1
@@ -72,6 +73,10 @@ class StreamingMultiprocessor:
         self.timeline = timeline
         #: observability collector (None = zero-cost sentinel checks).
         self._obs = obs
+        #: engine event wheel (None for standalone SMs): sleep
+        #: decisions and external wakes post their cycles here so the
+        #: engine's cycle leap sees a global next-event time.
+        self._wheel = wheel
         #: per-tick scratch for stall attribution: scheduler id ->
         #: issuing kernel, and scheduler id -> kernel that lost the
         #: BMI arbitration without a compute fallback.
@@ -129,13 +134,33 @@ class StreamingMultiprocessor:
         # consume quota via note_issue — so gate verdicts are always
         # queried live, exactly as the reference closures do.
         self._fastpath = fastpath
-        self._gate = None
+        # The SMK gate is fixed for the run; callbacks read it through
+        # this alias (kept for the standalone-SM test setups that
+        # construct the SM without a bundle gate).
+        self._gate = bundle.smk_gate
         self._lsu_free = True
         self._mem_ok_now: Dict[int, bool] = {}
         # With no SMK gate and an unlimited MIL, the per-kernel verdict
         # collapses to "is the LSU free": keep both constant answer
         # maps prebuilt and just point _mem_ok_now at the right one.
         self._limiter_unlimited = isinstance(bundle.limiter, NoLimit)
+        # Baseline runs leave every scheme observation hook at its
+        # empty base-class implementation; detecting that once lets
+        # the per-issue and per-request paths skip the calls outright
+        # (a pure no-op either way, so both loops take the same skip).
+        lim_cls = type(bundle.limiter)
+        pol_cls = type(bundle.mem_policy)
+        self._mem_hooks_inert = (
+            lim_cls.note_request is MemInstLimiter.note_request
+            and lim_cls.note_rsfail is MemInstLimiter.note_rsfail
+            and lim_cls.observe_inflight is MemInstLimiter.observe_inflight
+            and pol_cls.note_mem_inst is MemIssuePolicy.note_mem_inst
+            and pol_cls.note_request is MemIssuePolicy.note_request
+            and bundle.ucp is None
+        )
+        #: the baseline policy's pick is pure "first proposer wins":
+        #: skip the candidate-list build and the dispatch entirely.
+        self._pick_trivial = pol_cls.pick is UnmanagedIssue.pick
         self._ok_all = {launch.slot: True for launch in launches}
         self._ok_none = {launch.slot: False for launch in launches}
         # Scheduler issue orders for each round-robin start, prebuilt.
@@ -152,14 +177,58 @@ class StreamingMultiprocessor:
         #: whenever residency or a TB limit changes.
         self._launch_blocked = False
         #: whole-SM sleep: while ``cycle < _sleep_until`` the entire
-        #: tick is provably a no-op and is skipped.  Only eligible
-        #: under GTO with no UCP (LRR rotates per-cycle state; UCP
-        #: ticks its epoch counter every cycle).
+        #: tick is provably a no-op and is skipped.  Eligible under
+        #: GTO and LRR with no UCP (UCP ticks its epoch counter every
+        #: cycle).  LRR's only per-cycle state is the rotation
+        #: position, which tick() catches up from the cycle gap —
+        #: select() advances it exactly once per call whenever the
+        #: scheduler owns warps, so skipped cycles owe one advance
+        #: each.
         self._sleep_until = 0
         self._last_tick = -1
         self._sleep_eligible = (fastpath
-                                and config.scheduler_policy == "gto"
+                                and config.scheduler_policy in ("gto", "lrr")
                                 and bundle.ucp is None)
+        self._lrr = config.scheduler_policy == "lrr"
+        # Run-constant scheme components, hoisted out of tick().
+        self._ucp = bundle.ucp
+        self._smk_gate = bundle.smk_gate
+        self._limiter = bundle.limiter
+        #: issue autopilot eligibility (see WarpScheduler._auto_warp):
+        #: after a compute issue the greedy warp's run of consecutive
+        #: ALU ops is issued one per cycle without re-running select().
+        #: Bursts bypass _issue_compute's gate/timeline/obs hooks, so
+        #: autopilot only arms when all of those are provably inert,
+        #: and only under GTO (the burst relies on the greedy warp
+        #: holding priority[0] between issues).
+        self._auto_ok = (fastpath
+                         and config.scheduler_policy == "gto"
+                         and bundle.smk_gate is None
+                         and timeline is None
+                         and obs is None)
+        # Scheme window boundaries (DMIL limit recompute, QBMI quota
+        # replenish, Req/Minst refresh) change issue eligibility with
+        # no scheduler wake attached: register them as conservative
+        # wheel re-evaluation points so the cycle leap can never jump
+        # past one.  (Gated warps also keep their SM awake, so these
+        # posts are belt-and-braces; a stale post costs at most one
+        # inert tick.)
+        limiter = bundle.limiter
+        milgs = getattr(limiter, "milgs", None)
+        if milgs is None:
+            shared = getattr(limiter, "shared", None)
+            if shared is not None:
+                milgs = getattr(shared, "milgs", None)
+        if milgs:
+            for milg in milgs:
+                milg.on_window = self._note_scheme_window
+        policy = bundle.mem_policy
+        estimators = getattr(policy, "estimators", None)
+        if estimators:
+            for est in estimators:
+                est.on_window = self._note_scheme_window
+        if hasattr(policy, "on_window"):
+            policy.on_window = self._note_scheme_window
 
     # ------------------------------------------------------------------
     # thread block launch
@@ -282,20 +351,49 @@ class StreamingMultiprocessor:
             # The scheduler round-robin start advances once per cycle
             # in the reference loop, including cycles a sleeping SM
             # skipped: catch the rotation phase up so arbitration
-            # order stays bit-identical.
-            self._sched_rr = (self._sched_rr + (cycle - last - 1)) \
-                % len(self.schedulers)
-        bundle = self.bundle
-        if bundle.ucp is not None:
-            bundle.ucp.tick(cycle)
-        self.try_launch_tb(cycle)
+            # order stays bit-identical.  Under LRR each scheduler's
+            # rotation position advances once per select() call while
+            # it owns warps — including the sleep-hint early-outs the
+            # skipped cycles would have taken — so it owes the same
+            # catch-up.
+            gap = cycle - last - 1
+            self._sched_rr = (self._sched_rr + gap) % len(self.schedulers)
+            if self._lrr:
+                for sched in self.schedulers:
+                    if sched.warps:
+                        sched._lrr_pos += gap
+            else:
+                # Burst sleep catch-up: each slept cycle issued exactly
+                # one ALU per mid-burst scheduler (the sleep horizon was
+                # capped at every burst's remaining length, and any
+                # event that could break a burst early lowers
+                # _sleep_until to its own cycle — see
+                # _on_meminst_complete — so the premise held for the
+                # whole gap).  Pay the deferred per-issue bookkeeping in
+                # one batch; the warp's stale ready_at is harmless (the
+                # burst step below and note_load_done compare it
+                # against ``cycle`` the same way a per-cycle value
+                # would).
+                for sched in self.schedulers:
+                    left = sched._auto_left
+                    if left:
+                        stats = sched._auto_stats
+                        stats.warp_insts += gap
+                        stats.alu_insts += gap
+                        self.alu_busy += gap
+                        sched._auto_left = left - gap
+        fastpath = self._fastpath
+        if self._ucp is not None:
+            self._ucp.tick(cycle)
+        if not (self._launch_blocked and fastpath):
+            # Inlined try_launch_tb fast-out: a blocked scan stays
+            # blocked until residency or a limit changes.
+            self.try_launch_tb(cycle)
         self._sfu_used = False
 
-        gate = bundle.smk_gate
-        self._gate = gate
+        gate = self._smk_gate
         lsu = self.lsu
         self._lsu_free = lsu_free = len(lsu.queue) < lsu.queue_depth
-        fastpath = self._fastpath
         if fastpath:
             # Resolve the per-kernel can-issue verdicts once: the gate,
             # the limiter and the LSU occupancy are all frozen during
@@ -310,12 +408,13 @@ class StreamingMultiprocessor:
                 if not lsu_free:
                     mem_ok = None
                 elif self._limiter_unlimited:
-                    self._mem_ok_now = self._ok_all
-                    mem_ok = self._mem_ok_cb
+                    # ``mem_ok=True`` sentinel: every kernel may issue
+                    # — the scheduler skips callback dispatch entirely.
+                    mem_ok = True
                 else:
                     # The limiter kind is fixed per run, so _mem_ok_now
                     # still points at its own mutable dict here.
-                    limiter = bundle.limiter
+                    limiter = self._limiter
                     ok = self._mem_ok_now
                     for k, st in self._kstate_items:
                         ok[k] = limiter.can_issue(k, st.inflight_minsts)
@@ -323,7 +422,7 @@ class StreamingMultiprocessor:
             else:
                 warp_gated = self._warp_gated_cb
                 if lsu_free:
-                    limiter = bundle.limiter
+                    limiter = self._limiter
                     ok = self._mem_ok_now
                     for k, st in self._kstate_items:
                         ok[k] = limiter.can_issue(k, st.inflight_minsts)
@@ -335,7 +434,7 @@ class StreamingMultiprocessor:
             # Reference loop: allocate the callbacks as per-cycle
             # closures, the straightforward implementation the fast
             # path is benchmarked against.
-            limiter = bundle.limiter
+            limiter = self.bundle.limiter
             lsu_free = self._lsu_free
 
             def mem_ok(warp: Warp, op: str) -> bool:
@@ -356,7 +455,62 @@ class StreamingMultiprocessor:
         start = self._sched_rr
         self._sched_rr = (start + 1) % n
         for sched in self._sched_orders[start]:
+            if sched._auto_left:
+                # Issue autopilot: the greedy warp's precompiled run of
+                # consecutive ALU ops issues one instruction per cycle
+                # without re-running selection — provably what select()
+                # would pick (see WarpScheduler._auto_warp).  Armed
+                # only when gate/timeline/obs are inert (_auto_ok), so
+                # this inlines exactly _issue_compute's live effects.
+                warp = sched._auto_warp
+                if warp.ready_at <= cycle:
+                    # The stream was advanced past the whole run at
+                    # arming time, so a burst pop is pure bookkeeping.
+                    stats = sched._auto_stats
+                    stats.warp_insts += 1
+                    stats.alu_insts += 1
+                    self.alu_busy += 1
+                    warp.ready_at = cycle + 1
+                    left = sched._auto_left - 1
+                    sched._auto_left = left
+                    if not left:
+                        sched._auto_warp = None
+                        stream = warp.stream
+                        if stream.next_op is None:
+                            if not warp.outstanding_loads:
+                                self._finish_warp(warp)
+                            else:
+                                sched.scan_block(warp)
+                    continue
+                # A returned load raised the warp's scoreboard past
+                # this cycle (Warp.note_load_done): select() would now
+                # skip it and may pick a different warp, so the burst
+                # premise is gone — disarm, give the unissued remainder
+                # of the pre-advanced run back to the stream, and fall
+                # through to the normal selection path.
+                sched._auto_warp = None
+                warp.stream.rewind_alu(sched._auto_left)
+                sched._auto_left = 0
             if fastpath:
+                if cycle < sched._next_wake:
+                    # select()'s latency-sleep early-out, inlined to
+                    # save the call: every warp is blocked until
+                    # _next_wake, so select would return None (LRR
+                    # still owes its per-call rotation).
+                    if self._lrr and sched.warps:
+                        sched._lrr_pos += 1
+                    continue
+                if (mem_ok is None and sched._mem_stalled
+                        and cycle < sched._mem_wake):
+                    # Memory-pipeline stall memo: the LSU is still
+                    # full and every ready warp still holds a memory
+                    # instruction (see WarpScheduler._mem_stalled) —
+                    # select() would provably return None.  Keep LRR's
+                    # once-per-call rotation exactly as that call
+                    # would have.
+                    if self._lrr and sched.warps:
+                        sched._lrr_pos += 1
+                    continue
                 # compute_ok=None: every port free (no SFU issued yet
                 # this cycle) — the scheduler skips the callback.
                 sel = sched.select(
@@ -375,8 +529,11 @@ class StreamingMultiprocessor:
                 self._issue_compute(sched, sel.warp, sel.op, cycle)
 
         if mem_proposals is not None:
-            kernels = [sel.warp.kernel_slot for _, sel in mem_proposals]
-            winner = bundle.mem_policy.pick(kernels)
+            if self._pick_trivial:
+                winner = 0
+            else:
+                kernels = [sel.warp.kernel_slot for _, sel in mem_proposals]
+                winner = self.bundle.mem_policy.pick(kernels)
             for idx, (sched, sel) in enumerate(mem_proposals):
                 if idx == winner:
                     self._issue_mem(sched, sel.warp, sel.op, cycle)
@@ -395,33 +552,75 @@ class StreamingMultiprocessor:
                 gate.maybe_reset(resident)
         elif (self._sleep_eligible and self._launch_blocked
                 and not self.lsu.queue):
-            # Every scheduler's latest scan found nothing latency-ready
-            # (future hints), no TB can launch and the LSU is drained:
-            # the SM provably no-ops until the earliest scheduler wake.
+            # Every scheduler is either mid-ALU-burst (autopilot) or its
+            # latest scan found nothing latency-ready (future hint), no
+            # TB can launch and the LSU is drained: the SM's next ticks
+            # are fully determined — each slept cycle issues exactly one
+            # ALU per bursting scheduler and nothing else.  Sleep until
+            # the earliest of the burst ends and the scheduler wakes;
+            # the wake-up tick pays the slept issues in one batch (see
+            # the catch-up above).  A load return that would break a
+            # burst early lowers _sleep_until to its own cycle
+            # (_on_meminst_complete), so the burst premise provably
+            # holds for every slept cycle.  (A mid-burst scheduler's
+            # _next_wake is <= its arming cycle, so bursts contribute
+            # their end cycle here instead.)
             wake = NEVER
             for sched in self.schedulers:
-                nw = sched._next_wake
+                left = sched._auto_left
+                nw = (cycle + left) if left else sched._next_wake
                 if nw < wake:
                     wake = nw
             if wake > cycle + 1:
                 self._sleep_until = wake
+                wheel = self._wheel
+                if wheel is not None and wake < NEVER:
+                    # Post the wake so the engine's leap target covers
+                    # this SM; a NEVER wake needs no entry (only an
+                    # external event — which posts its own cycle — can
+                    # rouse the SM).
+                    wheel.post(wake)
 
     def _issue_compute(self, sched: WarpScheduler, warp: Warp, op: str,
                        cycle: int) -> None:
         stream = warp.stream
-        stream.pop()
         k = warp.kernel_slot
         stats = self.kernel_stats[k]
         stats.warp_insts += 1
-        if op == OP_SFU:
+        armed = False
+        if op is OP_ALU:
+            stats.alu_insts += 1
+            self.alu_busy += 1
+            warp.ready_at = cycle + 1
+            if self._auto_ok:
+                # This warp is now the greedy warp; if its (precompiled)
+                # stream continues with a run of ALU ops, arm the issue
+                # autopilot to burn the run down without reselection.
+                # The fused pop advances past the whole run up front
+                # (one call instead of one pop per burst cycle); a
+                # mid-burst disarm rewinds the unissued remainder.
+                # Pre-advancing leaves ``next_op`` pointing past the
+                # run for the rest of the burst, so it is only allowed
+                # when no in-flight load of this warp could observe
+                # that future state through ``_on_meminst_complete`` —
+                # i.e. when the warp has no outstanding loads
+                # (``allow_end``), or when the run provably leaves more
+                # work (``next_op`` non-None), which is all the
+                # completion path inspects.
+                run = stream.pop_alu_burst(not warp.outstanding_loads)
+                if run:
+                    sched._auto_warp = warp
+                    sched._auto_left = run
+                    sched._auto_stats = stats
+                    armed = True
+            else:
+                stream.pop()
+        else:
+            stream.pop()
             stats.sfu_insts += 1
             self.sfu_busy += 1
             self._sfu_used = True
             warp.ready_at = cycle + 4
-        else:
-            stats.alu_insts += 1
-            self.alu_busy += 1
-            warp.ready_at = cycle + 1
         sched.note_issued(warp)
         gate = self._gate
         if gate is not None:
@@ -431,34 +630,43 @@ class StreamingMultiprocessor:
         if self._obs is not None:
             self._obs_issued[sched.sched_id] = k
             self._obs.issue_event(self.sm_id, sched.sched_id, k, op, cycle)
-        if stream.next_op is None and not warp.outstanding_loads:
-            self._finish_warp(warp)
+        # An armed burst defers the drain check to its last pop (the
+        # pre-advanced ``next_op`` may already read as drained).
+        if not armed and stream.next_op is None:
+            if not warp.outstanding_loads:
+                self._finish_warp(warp)
+            else:
+                # Drained but loads still in flight: off-scan until the
+                # last return retires it.
+                sched.scan_block(warp)
 
     def _issue_mem(self, sched: WarpScheduler, warp: Warp, op: str,
                    cycle: int) -> None:
         stream = warp.stream
-        stream.pop()
         k = warp.kernel_slot
         is_store = op == OP_STORE
-        desc = stream.memory_descriptor(is_store)
-        launch = self._launch_by_slot[k]
-        base = launch.base_line
-        lines = tuple([base + line for line in desc.lines])
-        inst = MemInst(warp, lines, is_store, cycle, self._on_meminst_complete)
+        # Lines are already rebased into global line space by the
+        # stream (see KernelLaunch.new_stream); for replay streams this
+        # is a fresh slice, for live streams a fresh pattern list —
+        # safe to hand to the MemInst without copying.
+        lines = stream.pop_mem(is_store)
+        inst = MemInst(warp, lines, is_store, cycle,
+                       self._on_meminst_complete)
         state = self.kstate[k]
         state.inflight_minsts += 1
-        bundle = self.bundle
-        bundle.limiter.observe_inflight(k, state.inflight_minsts)
-        bundle.mem_policy.note_mem_inst(k)
+        if not self._mem_hooks_inert:
+            bundle = self.bundle
+            bundle.limiter.observe_inflight(k, state.inflight_minsts)
+            bundle.mem_policy.note_mem_inst(k)
         self.lsu.enqueue(inst)
 
         stats = self.kernel_stats[k]
         stats.warp_insts += 1
         stats.mem_insts += 1
-        if is_store:
-            warp.ready_at = cycle + 1
-        else:
-            warp.note_load_issued(cycle)
+        # Inlined Warp.note_load_issued (stores just set the scoreboard).
+        if not is_store:
+            warp.outstanding_loads += 1
+        warp.ready_at = cycle + 1
         sched.note_issued(warp)
         gate = self._gate
         if gate is not None:
@@ -468,8 +676,17 @@ class StreamingMultiprocessor:
         if self._obs is not None:
             self._obs_issued[sched.sched_id] = k
             self._obs.issue_event(self.sm_id, sched.sched_id, k, op, cycle)
-        if stream.next_op is None and not warp.outstanding_loads:
-            self._finish_warp(warp)
+        # Scan-list upkeep (one transition max per issue): a drained
+        # warp retires or waits out its loads off-scan; a load that
+        # filled the MLP complement blocks the warp until a return
+        # (scan_unblock in _on_meminst_complete).
+        if stream.next_op is None:
+            if not warp.outstanding_loads:
+                self._finish_warp(warp)
+            else:
+                sched.scan_block(warp)
+        elif not is_store and warp.outstanding_loads >= warp.mlp:
+            sched.scan_block(warp)
 
     # ------------------------------------------------------------------
     # stall attribution (observability; never reached with obs off)
@@ -530,24 +747,39 @@ class StreamingMultiprocessor:
 
     # ------------------------------------------------------------------
     # scheme event hooks (called by the LSU)
+    def _note_scheme_window(self) -> None:
+        """A scheme window boundary fired (DMIL limit recompute, QBMI
+        quota replenish, Req/Minst refresh): post a conservative
+        re-evaluation point to the event wheel so the engine's cycle
+        leap re-checks issue eligibility on the next cycle.
+        ``_last_tick`` never exceeds the current cycle, so the post is
+        never late; an early (stale) post costs one inert tick."""
+        wheel = self._wheel
+        if wheel is not None:
+            wheel.post(self._last_tick + 1)
+
     def on_request_issued(self, request, result: str, cycle: int) -> None:
         k = request.kernel
-        state = self.kstate[k]
-        self.bundle.limiter.note_request(k, state.inflight_minsts)
-        self.bundle.mem_policy.note_request(k)
-        if self.bundle.ucp is not None and not request.is_write:
-            self.bundle.ucp.observe(k, request.line)
+        if not self._mem_hooks_inert:
+            state = self.kstate[k]
+            self.bundle.limiter.note_request(k, state.inflight_minsts)
+            self.bundle.mem_policy.note_request(k)
+            if self.bundle.ucp is not None and not request.is_write:
+                self.bundle.ucp.observe(k, request.line)
         self.kernel_stats[k].mem_requests += 1
         if self.timeline is not None:
             self.timeline.bump("l1d_access", k, cycle)
 
     def on_rsfail(self, kernel: int, cycle: int) -> None:
-        self.bundle.limiter.note_rsfail(kernel)
+        if not self._mem_hooks_inert:
+            self.bundle.limiter.note_rsfail(kernel)
 
     def _on_meminst_complete(self, inst: MemInst, cycle: int) -> None:
         state = self.kstate[inst.kernel]
         state.inflight_minsts -= 1
-        self.bundle.limiter.observe_inflight(inst.kernel, state.inflight_minsts)
+        if not self._mem_hooks_inert:
+            self.bundle.limiter.observe_inflight(inst.kernel,
+                                                 state.inflight_minsts)
         warp = inst.warp
         if not inst.is_store:
             warp.note_load_done(cycle)
@@ -555,8 +787,50 @@ class StreamingMultiprocessor:
                 self._finish_warp(warp)
             else:
                 # The returned load may unblock an MLP-capped warp the
-                # scheduler's sleep hint knows nothing about.
-                warp.sched.wake_at(warp.ready_at)
+                # scheduler's sleep hint knows nothing about.  Crossing
+                # back below the MLP cap restores scan-list membership
+                # (the exact inverse of the scan_block at issue).
+                if (warp.outstanding_loads == warp.mlp - 1
+                        and warp.stream.next_op is not None):
+                    warp.sched.scan_unblock(warp)
+                sched = warp.sched
+                sched.wake_at(warp.ready_at)
+                if sched._auto_warp is warp and cycle < self._sleep_until:
+                    # The return just raised the bursting warp's
+                    # scoreboard: the burst disarms THIS cycle and the
+                    # freed issue slot may go to another warp, so a
+                    # burst-sleeping SM must tick at ``cycle`` itself
+                    # (wake_at above only wakes it at ready_at).
+                    self._sleep_until = cycle
+
+    # ------------------------------------------------------------------
+    def _settle_sleep_debt(self, end: int) -> None:
+        """Settle burst-sleep accounting when the run ends mid-sleep.
+
+        A burst-sleeping SM defers its per-cycle issue bookkeeping to
+        the wake-up tick's catch-up; if the run's final cycle falls
+        inside the sleep window that tick never comes, so result
+        collection pays the issues for the slept cycles here (exactly
+        the cycles ``last_tick+1 .. min(end, _sleep_until)-1``, each of
+        which issued one ALU per mid-burst scheduler).  Idempotent via
+        the ``_last_tick`` advance; a no-op for idle sleeps and awake
+        SMs (nothing armed, or an empty gap)."""
+        horizon = self._sleep_until
+        if horizon > end:
+            horizon = end
+        gap = horizon - self._last_tick - 1
+        if gap <= 0:
+            return
+        for sched in self.schedulers:
+            left = sched._auto_left
+            if left:
+                stats = sched._auto_stats
+                stats.warp_insts += gap
+                stats.alu_insts += gap
+                self.alu_busy += gap
+                sched._auto_left = left - gap
+                sched._auto_warp.ready_at = horizon
+        self._last_tick = horizon - 1
 
     # ------------------------------------------------------------------
     def resident_warps(self) -> int:

@@ -28,6 +28,17 @@ class AccessPattern(Protocol):
     def lines(self, warp_index: int, rng: random.Random, count: int) -> List[int]:
         """Return ``count`` line indices for one memory instruction."""
 
+    def trace_signature(self) -> tuple:
+        """Hashable description of every parameter that influences the
+        line sequence this pattern produces (optional).
+
+        Patterns that implement it are eligible for trace
+        precompilation (:mod:`repro.workloads.trace`): two pattern
+        instances with equal signatures must generate identical line
+        sequences for identical ``(warp_index, rng draws, count)``
+        inputs.  Patterns without the method simply fall back to live
+        RNG generation — correct, just slower."""
+
 
 class StreamPattern:
     """Per-warp sequential walk over a private region of ``region_lines``.
@@ -68,6 +79,10 @@ class StreamPattern:
         self._cursors[warp_index] = (cursor + count) % self.region_lines
         return out
 
+    def trace_signature(self) -> tuple:
+        return ("stream", self.region_lines, self.recycle_slots,
+                self.ROW_STAGGER)
+
 
 class ReusePattern:
     """Uniform random lines from a working set shared by all warps."""
@@ -82,6 +97,9 @@ class ReusePattern:
         start = rng.randrange(ws)
         # A coalesced instruction touches adjacent lines of the set.
         return [(start + i) % ws for i in range(count)]
+
+    def trace_signature(self) -> tuple:
+        return ("reuse", self.working_set_lines)
 
 
 class MixPattern:
@@ -104,3 +122,7 @@ class MixPattern:
             return self._reuse.lines(warp_index, rng, count)
         raw = self._stream.lines(warp_index, rng, count)
         return [self._stream_base + line for line in raw]
+
+    def trace_signature(self) -> tuple:
+        return ("mix", self.reuse_frac, self._stream_base,
+                self._reuse.trace_signature(), self._stream.trace_signature())

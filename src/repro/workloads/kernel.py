@@ -30,14 +30,41 @@ OP_SFU = "sfu"
 OP_LOAD = "ld"
 OP_STORE = "st"
 
+#: single-byte opcode encoding used by precompiled traces
+#: (:mod:`repro.workloads.trace`).  Ops are compared by identity
+#: throughout the simulator, so replay decodes codes back to the
+#: interned module constants above via :data:`OP_BY_CODE`.
+ALU_CODE = ord("a")
+SFU_CODE = ord("s")
+LOAD_CODE = ord("l")
+STORE_CODE = ord("w")
+OP_BY_CODE = [None] * 128
+OP_BY_CODE[ALU_CODE] = OP_ALU
+OP_BY_CODE[SFU_CODE] = OP_SFU
+OP_BY_CODE[LOAD_CODE] = OP_LOAD
+OP_BY_CODE[STORE_CODE] = OP_STORE
+CODE_BY_OP = {OP_ALU: "a", OP_SFU: "s", OP_LOAD: "l", OP_STORE: "w"}
 
-@dataclass(frozen=True)
+
 class MemInstDescriptor:
     """One memory instruction after coalescing: the line addresses it
-    touches (kernel-region-local) and whether it is a store."""
+    touches (kernel-region-local) and whether it is a store.
 
-    lines: tuple
-    is_store: bool
+    Streams hand out one *scratch* descriptor, overwritten by each
+    :meth:`InstructionStream.memory_descriptor` call — the descriptor
+    is only valid until the stream's next one (the SM consumes it
+    immediately).  ``lines`` may be any sequence of ints.
+    """
+
+    __slots__ = ("lines", "is_store")
+
+    def __init__(self, lines, is_store: bool):
+        self.lines = lines
+        self.is_store = is_store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "store" if self.is_store else "load"
+        return f"<MemInstDescriptor {kind} lines={list(self.lines)!r}>"
 
 
 @dataclass(frozen=True)
@@ -128,10 +155,11 @@ class InstructionStream:
 
     __slots__ = ("profile", "next_op", "_pattern", "_warp_index", "_rng",
                  "_rng_random", "_iters_left", "_compute_left",
-                 "_cinst_per_minst", "_sfu_frac", "_write_frac")
+                 "_cinst_per_minst", "_sfu_frac", "_write_frac", "_scratch",
+                 "_base")
 
     def __init__(self, profile: KernelProfile, pattern: AccessPattern,
-                 global_warp_index: int, seed: int):
+                 global_warp_index: int, seed: int, base_line: int = 0):
         self.profile = profile
         self._pattern = pattern
         self._warp_index = global_warp_index
@@ -144,6 +172,14 @@ class InstructionStream:
         self._write_frac = profile.write_frac
         self._iters_left = profile.iters_per_warp
         self._compute_left = profile.cinst_per_minst
+        #: reusable descriptor (see MemInstDescriptor): one allocation
+        #: per stream instead of one per memory instruction.
+        self._scratch = MemInstDescriptor((), False)
+        #: kernel-region base line added into every descriptor, so the
+        #: SM can hand descriptor lines straight to the LSU without
+        #: rebasing per instruction.  0 keeps region-local lines (the
+        #: trace compiler and unit tests rely on that).
+        self._base = base_line
         self.next_op: Optional[str] = None
         self._advance()
 
@@ -201,10 +237,176 @@ class InstructionStream:
 
     def memory_descriptor(self, is_store: bool) -> MemInstDescriptor:
         """Coalesced line addresses for the memory instruction just
-        popped (``Req/Minst`` lines)."""
+        popped (``Req/Minst`` lines).  Returns the stream's scratch
+        descriptor — valid until the next call."""
+        desc = self._scratch
         lines = self._pattern.lines(
             self._warp_index, self._rng, self.profile.reqs_per_minst)
-        return MemInstDescriptor(lines=tuple(lines), is_store=is_store)
+        base = self._base
+        if base:
+            desc.lines = [base + line for line in lines]
+        else:
+            desc.lines = lines
+        desc.is_store = is_store
+        return desc
+
+    def alu_run_len(self) -> int:
+        """Number of consecutive ALU instructions at the stream head.
+
+        Live streams cannot look ahead without drawing RNG state, so
+        they report 0; precompiled :class:`ReplayStream`\\ s scan their
+        opcode array.  The SM's issue autopilot uses this to batch
+        provably-identical back-to-back ALU issues."""
+        return 0
+
+    def pop_alu_burst(self, allow_end: bool) -> int:
+        """Fused pop + autopilot-arming probe (see
+        :meth:`ReplayStream.pop_alu_burst`).  Live streams cannot look
+        ahead, so this is a plain pop that never arms."""
+        self.pop()
+        return 0
+
+    def pop_mem(self, is_store: bool):
+        """Fused pop + memory footprint for a memory opcode: returns
+        the popped instruction's line list (see
+        :meth:`ReplayStream.pop_mem`)."""
+        self.pop()
+        return self.memory_descriptor(is_store).lines
+
+    def remaining_iterations(self) -> int:
+        return self._iters_left
+
+
+class ReplayStream:
+    """Replays a precompiled ``(profile, warp_index, seed)`` trace.
+
+    Drop-in replacement for :class:`InstructionStream`, built from the
+    flat arrays a :class:`repro.workloads.trace.KernelTrace` compiled:
+    ``ops`` is one opcode byte per instruction (:data:`OP_BY_CODE`
+    encoding), ``lines`` is the concatenated line footprint of every
+    memory instruction in order, ``reqs_per_minst`` entries each.
+    Popping is an index bump and a table lookup — no RNG, no pattern
+    cursor arithmetic — and is bit-identical to the live stream by
+    construction: the compiler drove a real :class:`InstructionStream`
+    through exactly the SM's ``pop()`` / ``memory_descriptor()`` call
+    sequence (see ``docs/PERF.md`` for the proof obligations).
+    """
+
+    __slots__ = ("profile", "next_op", "_ops", "_lines", "_pos", "_len",
+                 "_rpm", "_mem_seen", "_desc_start", "_iters_left",
+                 "_scratch")
+
+    def __init__(self, profile: KernelProfile, ops: bytes, lines,
+                 base_line: int = 0):
+        self.profile = profile
+        self._ops = ops
+        # Rebase the whole footprint once at stream creation (one
+        # C-level comprehension) instead of per memory instruction in
+        # the SM's issue path; the compiled arrays are region-local so
+        # one trace serves every launch of the profile.
+        self._lines = [base_line + l for l in lines] if base_line else lines
+        self._pos = 0
+        self._len = len(ops)
+        self._rpm = profile.reqs_per_minst
+        self._mem_seen = 0
+        self._desc_start = 0
+        self._iters_left = profile.iters_per_warp
+        self._scratch = MemInstDescriptor((), False)
+        self.next_op: Optional[str] = OP_BY_CODE[ops[0]] if ops else None
+
+    @property
+    def done(self) -> bool:
+        return self.next_op is None
+
+    def peek(self) -> Optional[str]:
+        return self.next_op
+
+    def pop(self) -> str:
+        op = self.next_op
+        if op is None:
+            raise RuntimeError("instruction stream exhausted")
+        if not (op is OP_ALU or op is OP_SFU):
+            self._desc_start = self._mem_seen * self._rpm
+            self._mem_seen += 1
+            self._iters_left -= 1
+        pos = self._pos + 1
+        self._pos = pos
+        self.next_op = OP_BY_CODE[self._ops[pos]] if pos < self._len else None
+        return op
+
+    def memory_descriptor(self, is_store: bool) -> MemInstDescriptor:
+        desc = self._scratch
+        start = self._desc_start
+        desc.lines = self._lines[start:start + self._rpm]
+        desc.is_store = is_store
+        return desc
+
+    def alu_run_len(self) -> int:
+        ops = self._ops
+        pos = self._pos
+        end = self._len
+        j = pos
+        while j < end and ops[j] == ALU_CODE:
+            j += 1
+        return j - pos
+
+    def run_ends_stream(self, run: int) -> bool:
+        """True when ``run`` more pops would exhaust the stream."""
+        return self._pos + run >= self._len
+
+    def pop_alu_burst(self, allow_end: bool) -> int:
+        """Pop one ALU op and, when the following opcodes continue the
+        run, pre-advance past the whole run in the same scan — the
+        fused form of ``pop()`` + ``alu_run_len()`` +
+        ``run_ends_stream()`` + ``skip_alu_run()`` the issue autopilot
+        arms with.  Returns the pre-advanced remainder length (0 means
+        nothing armed; the single pop still happened).  ``allow_end``
+        False refuses a run that would exhaust the stream (the
+        caller's in-flight loads could observe the drained
+        ``next_op``)."""
+        ops = self._ops
+        pos = self._pos + 1
+        end = self._len
+        j = pos
+        while j < end and ops[j] == ALU_CODE:
+            j += 1
+        run = j - pos
+        if run and (allow_end or j < end):
+            self._pos = j
+            self.next_op = OP_BY_CODE[ops[j]] if j < end else None
+            return run
+        self._pos = pos
+        self.next_op = OP_BY_CODE[ops[pos]] if pos < end else None
+        return 0
+
+    def skip_alu_run(self, run: int) -> None:
+        """Advance past ``run`` consecutive ALU opcodes in one step —
+        the SM's issue autopilot consumed the whole run up front.
+        Exactly equivalent to ``run`` pop() calls returning ALU: an ALU
+        pop touches nothing but the position."""
+        pos = self._pos + run
+        self._pos = pos
+        self.next_op = OP_BY_CODE[self._ops[pos]] if pos < self._len else None
+
+    def rewind_alu(self, count: int) -> None:
+        """Give back ``count`` unissued ALU opcodes of a skipped run
+        (the autopilot disarmed mid-burst)."""
+        pos = self._pos - count
+        self._pos = pos
+        self.next_op = OP_BY_CODE[self._ops[pos]]
+
+    def pop_mem(self, is_store: bool):
+        """Fused ``pop()`` + ``memory_descriptor()`` for a memory
+        opcode: one call returning the instruction's line slice
+        directly (the descriptor scratch object only exists for the
+        live stream's pattern plumbing)."""
+        start = self._mem_seen * self._rpm
+        self._mem_seen += 1
+        self._iters_left -= 1
+        pos = self._pos + 1
+        self._pos = pos
+        self.next_op = OP_BY_CODE[self._ops[pos]] if pos < self._len else None
+        return self._lines[start:start + self._rpm]
 
     def remaining_iterations(self) -> int:
         return self._iters_left

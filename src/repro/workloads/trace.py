@@ -1,0 +1,267 @@
+"""Precompiled kernel trace arrays.
+
+Every warp's instruction stream is a pure function of
+``(KernelProfile, warp_index, seed)``: the per-warp RNG is seeded from
+``(seed, warp_index)`` alone, and the address patterns keep no state
+shared *across* warps (StreamPattern cursors are keyed by warp index,
+ReusePattern draws only from the RNG, MixPattern composes the two).
+CKE schemes never alter the stream either — BMI/MIL/SMK/UCP only
+change *when* instructions issue, not *which* — so one compiled trace
+serves every scheme leg, every rep, and both the fast and reference
+loops of a campaign.
+
+This module compiles streams once into flat parallel arrays — one
+opcode byte per instruction plus the concatenated coalesced line
+footprint of every memory instruction — and replays them by index bump
+(:class:`repro.workloads.kernel.ReplayStream`).  The compiler drives a
+real :class:`~repro.workloads.kernel.InstructionStream` through
+exactly the SM's call sequence (``pop()``, then ``memory_descriptor``
+for memory ops), so the arrays are bit-identical to live generation by
+construction; ``tests/test_trace.py`` re-proves it per pattern class.
+
+Traces are memoized process-wide keyed by a *profile fingerprint*
+(every stream-affecting profile field plus the address pattern's
+``trace_signature()``) and compiled in chunks of :data:`CHUNK_WARPS`
+warps so memory stays bounded for long windows (a global LRU keeps at
+most :data:`MAX_CHUNKS` chunks resident).  When a disk directory is
+configured (:func:`configure_disk_cache` — the harness points it
+inside its atomic result cache), chunks are persisted as JSON with the
+same temp-file + ``os.replace`` discipline, letting campaign worker
+processes share one compile.
+
+Opt-outs: profiles whose pattern lacks ``trace_signature`` fall back
+to live RNG streams, as does ``REPRO_NO_TRACE=1`` (useful for
+disambiguating trace bugs from timing bugs).  Cache traffic is
+observable through the process-wide counter registry
+(``trace_cache.*`` — :func:`repro.obs.process_registry`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from hashlib import sha1
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import process_registry
+from repro.workloads.kernel import (
+    CODE_BY_OP,
+    OP_ALU,
+    OP_SFU,
+    OP_STORE,
+    InstructionStream,
+    KernelProfile,
+)
+
+#: bump when the trace array layout or the compile call order changes;
+#: embedded in fingerprints and in the disk-cache directory name.
+TRACE_FORMAT = 1
+
+#: warps compiled (and persisted) together.  64 warps of a typical
+#: profile are a few hundred KB of arrays — big enough to amortise the
+#: disk round-trip, small enough that eviction granularity stays fine.
+CHUNK_WARPS = 64
+
+#: process-wide cap on resident chunks (LRU).  Long windows launch
+#: tens of thousands of warps per kernel; without a cap the arrays
+#: for every warp ever launched would stay live.
+MAX_CHUNKS = 256
+
+_COUNTERS = process_registry()
+_HITS = _COUNTERS.counter("trace_cache.warp_hits")
+_COMPILES = _COUNTERS.counter("trace_cache.chunk_compiles")
+_DISK_HITS = _COUNTERS.counter("trace_cache.disk_hits")
+_DISK_WRITES = _COUNTERS.counter("trace_cache.disk_writes")
+_FALLBACKS = _COUNTERS.counter("trace_cache.fallback_streams")
+
+#: (fingerprint, seed) -> KernelTrace, shared by every launch in the
+#: process (campaign legs re-create GPU objects constantly).
+_TRACES: Dict[Tuple, "KernelTrace"] = {}
+
+#: (digest, seed, chunk_index) -> (ops bytes per warp, lines per warp),
+#: in LRU order (popitem(last=False) evicts the coldest chunk).
+_CHUNKS: "OrderedDict[Tuple, Tuple[List[bytes], List[List[int]]]]" = OrderedDict()
+
+_DISK_DIR: Optional[str] = None
+
+
+def profile_fingerprint(profile: KernelProfile) -> Optional[Tuple]:
+    """Hashable key covering everything that shapes the instruction
+    stream, or ``None`` when the profile is not traceable (its address
+    pattern does not declare a ``trace_signature``).
+
+    Deliberately excludes fields that only affect *timing* (``mlp``,
+    resources, latencies): profiles differing only in those share one
+    trace, exactly like scheme legs do.
+    """
+    pattern = profile.pattern_factory()
+    signature = getattr(pattern, "trace_signature", None)
+    if signature is None:
+        return None
+    return (
+        TRACE_FORMAT,
+        profile.cinst_per_minst,
+        profile.reqs_per_minst,
+        profile.sfu_frac,
+        profile.write_frac,
+        profile.iters_per_warp,
+        signature(),
+    )
+
+
+def get_trace(profile: KernelProfile, seed: int) -> Optional["KernelTrace"]:
+    """The process-wide compiled trace for ``(profile, seed)``, or
+    ``None`` when tracing is unavailable or disabled."""
+    if os.environ.get("REPRO_NO_TRACE", "") == "1":
+        _FALLBACKS.value += 1
+        return None
+    fingerprint = profile_fingerprint(profile)
+    if fingerprint is None:
+        _FALLBACKS.value += 1
+        return None
+    key = (fingerprint, seed)
+    trace = _TRACES.get(key)
+    if trace is None:
+        trace = KernelTrace(profile, seed, fingerprint)
+        _TRACES[key] = trace
+    return trace
+
+
+def configure_disk_cache(path: Optional[str]) -> Optional[str]:
+    """Persist compiled chunks under ``path`` (None disables).
+
+    Returns the configured path, or ``None`` when the directory could
+    not be created (persistence is best-effort, like the harness's
+    result cache)."""
+    global _DISK_DIR
+    if path is None:
+        _DISK_DIR = None
+        return None
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError:
+        _DISK_DIR = None
+        return None
+    _DISK_DIR = path
+    return path
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-process trace and chunk (test hook)."""
+    _TRACES.clear()
+    _CHUNKS.clear()
+
+
+class KernelTrace:
+    """Lazily compiled per-warp trace arrays for one (profile, seed)."""
+
+    __slots__ = ("profile", "seed", "fingerprint", "digest")
+
+    def __init__(self, profile: KernelProfile, seed: int,
+                 fingerprint: Tuple):
+        self.profile = profile
+        self.seed = seed
+        self.fingerprint = fingerprint
+        self.digest = sha1(repr(fingerprint).encode()).hexdigest()[:20]
+
+    def warp_arrays(self, warp_index: int) -> Tuple[bytes, List[int]]:
+        """``(ops, lines)`` for one warp, compiling or loading the
+        containing chunk on demand."""
+        chunk_index, offset = divmod(warp_index, CHUNK_WARPS)
+        key = (self.digest, self.seed, chunk_index)
+        chunks = _CHUNKS
+        chunk = chunks.get(key)
+        if chunk is not None:
+            chunks.move_to_end(key)
+        else:
+            chunk = self._load_chunk(chunk_index)
+            if chunk is None:
+                chunk = self._compile_chunk(chunk_index)
+                self._store_chunk(chunk_index, chunk)
+            chunks[key] = chunk
+            while len(chunks) > MAX_CHUNKS:
+                chunks.popitem(last=False)
+        _HITS.value += 1
+        return chunk[0][offset], chunk[1][offset]
+
+    # ------------------------------------------------------------------
+    def _compile_chunk(self, chunk_index: int):
+        """Generate the arrays for warps ``[chunk*C, (chunk+1)*C)`` by
+        driving live streams through the SM's exact call order: the
+        ``pop()`` that advances the next-op RNG strictly precedes the
+        ``memory_descriptor`` that draws the pattern lines."""
+        _COMPILES.value += 1
+        profile = self.profile
+        seed = self.seed
+        # A fresh pattern per chunk is sound: pattern state is keyed by
+        # warp index (or drawn from the per-warp RNG), never shared
+        # across warps, so chunk boundaries cannot leak state.
+        pattern = profile.pattern_factory()
+        code_by_op = CODE_BY_OP
+        ops_per_warp: List[bytes] = []
+        lines_per_warp: List[List[int]] = []
+        first = chunk_index * CHUNK_WARPS
+        for warp_index in range(first, first + CHUNK_WARPS):
+            stream = InstructionStream(profile, pattern, warp_index, seed)
+            codes: List[str] = []
+            lines: List[int] = []
+            while stream.next_op is not None:
+                op = stream.pop()
+                codes.append(code_by_op[op])
+                if not (op is OP_ALU or op is OP_SFU):
+                    desc = stream.memory_descriptor(op is OP_STORE)
+                    lines.extend(desc.lines)
+            ops_per_warp.append("".join(codes).encode("ascii"))
+            lines_per_warp.append(lines)
+        return ops_per_warp, lines_per_warp
+
+    # ------------------------------------------------------------------
+    def _chunk_path(self, chunk_index: int) -> Optional[str]:
+        if _DISK_DIR is None:
+            return None
+        name = f"{self.digest}-s{self.seed}-c{chunk_index}.json"
+        return os.path.join(_DISK_DIR, name)
+
+    def _load_chunk(self, chunk_index: int):
+        path = self._chunk_path(chunk_index)
+        if path is None:
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if (payload.get("format") != TRACE_FORMAT
+                or payload.get("fingerprint") != repr(self.fingerprint)):
+            return None
+        ops = [entry.encode("ascii") for entry in payload["ops"]]
+        lines = payload["lines"]
+        if len(ops) != CHUNK_WARPS or len(lines) != CHUNK_WARPS:
+            return None
+        _DISK_HITS.value += 1
+        return ops, lines
+
+    def _store_chunk(self, chunk_index: int, chunk) -> None:
+        path = self._chunk_path(chunk_index)
+        if path is None:
+            return
+        payload = {
+            "format": TRACE_FORMAT,
+            "fingerprint": repr(self.fingerprint),
+            "ops": [entry.decode("ascii") for entry in chunk[0]],
+            "lines": chunk[1],
+        }
+        # Same atomic discipline as the harness result cache: concurrent
+        # campaign workers may race on the same chunk, and the winner's
+        # os.replace is indistinguishable from the loser's.
+        try:
+            fd, tmp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp_path, path)
+            _DISK_WRITES.value += 1
+        except OSError:
+            return

@@ -19,6 +19,10 @@ class FakeBundle:
 
 
 class FakeSM:
+    # Hooks observed per-call below, so the LSU must not defer stall
+    # accounting (the real SM advertises inert hooks the same way).
+    _mem_hooks_inert = False
+
     def __init__(self, bypass=()):
         self.requests = []
         self.rsfails = []

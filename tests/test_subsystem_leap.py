@@ -1,0 +1,194 @@
+"""Edge cases for the memory backend's leap machinery.
+
+The engine's fast loop jumps over provably-inert stretches by calling
+``MemorySubsystem.skip_cycles`` instead of ticking every cycle.  These
+tests pin the equivalence claims that make that safe:
+
+* owed interconnect token refills batched across a leap behave exactly
+  like per-cycle refills (compared against the reference loop);
+* a leap that lands exactly on a scheduled event still processes that
+  event on the landing tick;
+* ``quiescent()`` stays False while a DRAM read is in flight even
+  though the queues are drained (``leapable()`` True), and the event
+  wheel still bounds the leap in that state.
+"""
+
+from repro.config import scaled_config
+from repro.mem.cache import AccessResult
+from repro.mem.subsystem import MemRequest, MemorySubsystem
+from repro.sim.wheel import NEVER
+
+
+class FakeMemInst:
+    def __init__(self):
+        self.completions = []
+
+    def request_done(self, cycle):
+        self.completions.append(cycle)
+
+
+def leap_drive(mem, start, end):
+    """Drive a fastpath subsystem the way the engine does: tick, and
+    when the tick reports an inert cycle and the queues are drained,
+    leap to ``next_activity`` via ``skip_cycles``."""
+    cycle = start
+    leaps = 0
+    while cycle < end:
+        idle = mem.tick(cycle)
+        if idle and mem.leapable():
+            nxt = mem.next_activity(cycle)
+            if nxt > end:
+                nxt = end
+            if nxt > cycle + 1:
+                mem.skip_cycles(nxt - cycle - 1)
+                cycle = nxt
+                leaps += 1
+                continue
+        cycle += 1
+    return leaps
+
+
+class Script:
+    """A deterministic request schedule, replayable into any subsystem."""
+
+    def __init__(self, events):
+        # events: list of (cycle, line, sm_id, is_write)
+        self.events = sorted(events)
+
+    def replay(self, mem, horizon, leap):
+        """Returns the sorted list of (line, completion_cycle) pairs."""
+        insts = {}
+        pending = list(self.events)
+        cycle = 0
+        while cycle < horizon:
+            while pending and pending[0][0] == cycle:
+                _, line, sm_id, is_write = pending.pop(0)
+                inst = None
+                if not is_write:
+                    inst = FakeMemInst()
+                    insts[(line, sm_id)] = inst
+                req = MemRequest(line, 0, sm_id, is_write, meminst=inst)
+                mem.l1s[sm_id].access(req, cycle)
+            idle = mem.tick(cycle)
+            if leap and idle and mem.leapable():
+                nxt = mem.next_activity(cycle)
+                if pending and pending[0][0] < nxt:
+                    nxt = pending[0][0]
+                if nxt > horizon:
+                    nxt = horizon
+                if nxt > cycle + 1:
+                    mem.skip_cycles(nxt - cycle - 1)
+                    cycle = nxt
+                    continue
+            cycle += 1
+        done = []
+        for (line, sm_id), inst in insts.items():
+            for c in inst.completions:
+                done.append((line, sm_id, c))
+        return sorted(done)
+
+
+class TestOwedRefillsAcrossLeap:
+    def test_batched_refills_match_reference_loop(self):
+        """Bursty traffic separated by idle gaps: the leap path owes
+        the interconnect one token refill per skipped cycle, and the
+        batched catch-up must reproduce the reference loop's
+        completion cycles exactly (tokens cap out identically)."""
+        cfg = scaled_config()
+        events = []
+        # Write bursts drain request tokens (writes carry line_flits
+        # each), then short idle shadows, then reads that contend for
+        # the recovering tokens.
+        line = 0
+        for burst_at in (0, 40, 95, 160):
+            for i in range(6):
+                events.append((burst_at, line, i % 2, True))
+                line += 64 * 97
+            events.append((burst_at + 2, line, 0, False))
+            line += 64 * 97
+        ref = Script(events).replay(
+            MemorySubsystem(cfg, fastpath=False), 600, leap=False)
+        fast = Script(events).replay(
+            MemorySubsystem(cfg, fastpath=True), 600, leap=True)
+        assert ref, "script must produce completions"
+        assert fast == ref
+
+    def test_skip_cycles_advances_drain_pointer(self):
+        cfg = scaled_config()
+        mem = MemorySubsystem(cfg)
+        before = mem._drain_rr
+        mem.skip_cycles(3)
+        assert mem._drain_rr == (before + 3) % len(mem.l1s)
+        assert mem._skipped_refills == 3
+        assert mem.idle_cycles == 3
+
+
+class TestLeapLandsOnEvent:
+    def test_landing_tick_processes_the_due_event(self):
+        """After a read's miss queue drains into the interconnect, the
+        backend is leapable and ``next_activity`` names the l2_arrive
+        cycle; ticking exactly there must deliver the request to L2."""
+        cfg = scaled_config()
+        mem = MemorySubsystem(cfg)
+        inst = FakeMemInst()
+        req = MemRequest(0, 0, 0, False, meminst=inst)
+        assert mem.l1s[0].access(req, 0) == AccessResult.MISS
+        mem.tick(0)  # drains the miss queue, schedules l2_arrive
+        assert not mem.l1s[0].miss_queue
+        assert mem.leapable()
+        arrive = mem.next_activity(0)
+        assert arrive == cfg.icnt_latency
+        mem.skip_cycles(arrive - 1)
+        assert not mem.l2_in
+        mem.tick(arrive)
+        # The event fired on the landing tick: the request reached L2
+        # (and, L2 being empty, was processed the same cycle).
+        assert mem.l2_stats.accesses[0] == 1
+
+    def test_leap_run_matches_reference_completion_cycle(self):
+        cfg = scaled_config()
+        script = Script([(0, 0, 0, False)])
+        ref = script.replay(MemorySubsystem(cfg, fastpath=False), 400,
+                            leap=False)
+        fast = script.replay(MemorySubsystem(cfg, fastpath=True), 400,
+                             leap=True)
+        assert len(ref) == 1
+        assert fast == ref
+
+
+class TestQuiescentDuringDramFlight:
+    def test_quiescent_false_until_fill_delivered(self):
+        """While the read waits on DRAM the queues are drained
+        (leapable) but the request is still in flight: quiescent()
+        must say so, and the wheel must bound the leap."""
+        cfg = scaled_config()
+        mem = MemorySubsystem(cfg)
+        inst = FakeMemInst()
+        req = MemRequest(0, 0, 0, False, meminst=inst)
+        mem.l1s[0].access(req, 0)
+        saw_leapable_in_flight = False
+        cycle = 0
+        while not inst.completions:
+            assert not mem.quiescent()
+            mem.tick(cycle)
+            # The engine evaluates the leap *after* the memory tick,
+            # by which point a serving DRAM channel has posted its
+            # busy_until into the wheel.
+            if (not inst.completions and mem.leapable()
+                    and mem.dram.queued):
+                saw_leapable_in_flight = True
+                # The leap may not sail past the in-flight read: both
+                # the scan oracle and the wheel must name a bounded
+                # wake cycle.
+                assert mem.next_activity(cycle) < NEVER
+                assert mem.wheel.next_after(cycle) < NEVER
+                # The wheel may only ever be conservative: wake at or
+                # before the scan oracle, never after.
+                assert (mem.wheel.next_after(cycle)
+                        <= mem.next_activity(cycle))
+            cycle += 1
+            assert cycle < 1000, "read never completed"
+        assert saw_leapable_in_flight, \
+            "test must observe the drained-but-in-flight state"
+        mem.tick(cycle)
+        assert mem.quiescent()

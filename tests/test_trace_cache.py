@@ -1,0 +1,169 @@
+"""Tests for the precompiled kernel-trace cache
+(:mod:`repro.workloads.trace`): memoization, compile correctness
+against live streams, disk persistence, observability counters, and
+the harness wiring that versions the disk directory."""
+
+import json
+import os
+
+import pytest
+
+from repro.workloads import trace as ktrace
+from repro.workloads.kernel import (
+    CODE_BY_OP,
+    OP_ALU,
+    OP_SFU,
+    OP_STORE,
+    InstructionStream,
+)
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(autouse=True)
+def isolated_trace_caches():
+    """Each test sees empty in-memory caches and no disk cache, and
+    leaves the process-wide state the way it found it."""
+    saved_dir = ktrace._DISK_DIR
+    ktrace.clear_memory_cache()
+    ktrace.configure_disk_cache(None)
+    yield
+    ktrace.clear_memory_cache()
+    ktrace._DISK_DIR = saved_dir
+
+
+def live_call_order(profile, warp_index, seed):
+    """Drive a live stream through the SM's exact call sequence and
+    record what it produced (the oracle the compiler must match)."""
+    stream = InstructionStream(profile, profile.pattern_factory(),
+                               warp_index, seed)
+    codes = []
+    lines = []
+    while stream.next_op is not None:
+        op = stream.pop()
+        codes.append(CODE_BY_OP[op])
+        if not (op is OP_ALU or op is OP_SFU):
+            lines.extend(stream.memory_descriptor(op is OP_STORE).lines)
+    return "".join(codes).encode("ascii"), lines
+
+
+class TestMemoization:
+    def test_same_profile_and_seed_share_one_trace(self):
+        profile = get_profile("bp")
+        assert ktrace.get_trace(profile, 0) is ktrace.get_trace(profile, 0)
+
+    def test_seed_splits_the_cache(self):
+        profile = get_profile("bp")
+        assert ktrace.get_trace(profile, 0) is not ktrace.get_trace(profile, 1)
+
+    def test_timing_only_fields_share_a_trace(self):
+        """mlp shapes timing, not the stream: fingerprints must agree."""
+        import dataclasses
+        profile = get_profile("cd")
+        doubled = dataclasses.replace(profile, mlp=profile.mlp + 1)
+        assert (ktrace.profile_fingerprint(profile)
+                == ktrace.profile_fingerprint(doubled))
+
+
+class TestCompileCorrectness:
+    @pytest.mark.parametrize("name", ["bp", "cd"])
+    @pytest.mark.parametrize("warp_index", [0, 3, ktrace.CHUNK_WARPS])
+    def test_arrays_match_live_call_order(self, name, warp_index):
+        profile = get_profile(name)
+        trace = ktrace.get_trace(profile, 0)
+        assert trace is not None
+        ops, lines = trace.warp_arrays(warp_index)
+        assert (ops, list(lines)) == [
+            (o, list(l)) for o, l in [live_call_order(profile, warp_index, 0)]
+        ][0]
+
+
+class TestCounters:
+    def test_warp_hits_and_chunk_compiles(self):
+        profile = get_profile("bp")
+        trace = ktrace.get_trace(profile, 0)
+        compiles0 = ktrace._COMPILES.value
+        hits0 = ktrace._HITS.value
+        trace.warp_arrays(0)
+        trace.warp_arrays(1)  # same chunk: no second compile
+        assert ktrace._COMPILES.value == compiles0 + 1
+        assert ktrace._HITS.value == hits0 + 2
+
+    def test_untraceable_pattern_counts_a_fallback(self):
+        import dataclasses
+
+        class Opaque:
+            def addresses(self, *a, **kw):  # pragma: no cover - stub
+                return []
+
+        profile = dataclasses.replace(get_profile("bp"),
+                                      pattern_factory=Opaque)
+        before = ktrace._FALLBACKS.value
+        assert ktrace.get_trace(profile, 0) is None
+        assert ktrace._FALLBACKS.value == before + 1
+
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_TRACE", "1")
+        before = ktrace._FALLBACKS.value
+        assert ktrace.get_trace(get_profile("bp"), 0) is None
+        assert ktrace._FALLBACKS.value == before + 1
+
+    def test_counters_live_in_the_process_registry(self):
+        from repro.obs.registry import process_registry
+        names = process_registry().snapshot("trace_cache")
+        assert {"trace_cache.warp_hits", "trace_cache.chunk_compiles",
+                "trace_cache.disk_hits", "trace_cache.disk_writes",
+                "trace_cache.fallback_streams"} <= set(names)
+
+
+class TestDiskCache:
+    def test_round_trip_spares_the_recompile(self, tmp_path):
+        assert ktrace.configure_disk_cache(str(tmp_path)) == str(tmp_path)
+        profile = get_profile("bp")
+        expected = ktrace.get_trace(profile, 0).warp_arrays(0)
+        writes0 = ktrace._DISK_WRITES.value
+        assert writes0 >= 1
+        assert list(tmp_path.glob("*-s0-c0.json"))
+
+        # A fresh process (simulated by dropping the in-memory caches)
+        # must load the chunk instead of recompiling it.
+        ktrace.clear_memory_cache()
+        compiles0 = ktrace._COMPILES.value
+        hits0 = ktrace._DISK_HITS.value
+        assert ktrace.get_trace(profile, 0).warp_arrays(0) == expected
+        assert ktrace._COMPILES.value == compiles0
+        assert ktrace._DISK_HITS.value == hits0 + 1
+
+    def test_corrupt_chunk_recompiles(self, tmp_path):
+        ktrace.configure_disk_cache(str(tmp_path))
+        profile = get_profile("bp")
+        expected = ktrace.get_trace(profile, 0).warp_arrays(0)
+        (path,) = tmp_path.glob("*-s0-c0.json")
+        path.write_text("{not json")
+        ktrace.clear_memory_cache()
+        compiles0 = ktrace._COMPILES.value
+        assert ktrace.get_trace(profile, 0).warp_arrays(0) == expected
+        assert ktrace._COMPILES.value == compiles0 + 1
+
+    def test_stale_format_rejected(self, tmp_path):
+        ktrace.configure_disk_cache(str(tmp_path))
+        profile = get_profile("bp")
+        expected = ktrace.get_trace(profile, 0).warp_arrays(0)
+        (path,) = tmp_path.glob("*-s0-c0.json")
+        payload = json.loads(path.read_text())
+        payload["format"] = -1
+        path.write_text(json.dumps(payload))
+        ktrace.clear_memory_cache()
+        hits0 = ktrace._DISK_HITS.value
+        assert ktrace.get_trace(profile, 0).warp_arrays(0) == expected
+        assert ktrace._DISK_HITS.value == hits0
+
+
+class TestHarnessWiring:
+    def test_runner_versions_the_trace_dir(self, tmp_path):
+        from repro.config import scaled_config
+        from repro.harness.runner import CACHE_VERSION, ExperimentRunner
+
+        ExperimentRunner(scaled_config(), cache_dir=str(tmp_path))
+        expected = os.path.join(str(tmp_path), f"traces-v{CACHE_VERSION}")
+        assert ktrace._DISK_DIR == expected
+        assert os.path.isdir(expected)
