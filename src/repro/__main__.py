@@ -5,10 +5,13 @@ Commands
 
 ``characterize``
     Isolated characterisation of all 13 benchmarks (Table 2 / Fig 2).
-``run A B [--scheme S] [--cycles N] [--obs] [--trace OUT.json]``
+``run A B [--scheme S] [--cycles N] [--obs] [--trace OUT.json]
+[--phase-interval N] [--artifacts DIR]``
     One concurrent workload under one scheme.  ``--obs`` appends the
     stall-attribution breakdown; ``--trace`` also records a Chrome
-    trace (Perfetto-loadable) of the run.
+    trace (Perfetto-loadable) of the run; ``--phase-interval`` samples
+    interval time-series + the mechanism-adaptation event log;
+    ``--artifacts`` writes a versioned run-artifact JSON to DIR.
 ``stalls A B [--scheme S] [--cycles N]``
     Per-kernel stall-attribution breakdown (the paper's Figure 3
     methodology): where every scheduler issue slot went, and which L1D
@@ -19,9 +22,19 @@ Commands
 ``report OUT.md [--quick]``
     Full campaign report written to a markdown file.
 ``campaign A,B [C,D ...] [--schemes S1,S2] [--workers N] [--progress]
-[--obs]``
+[--obs] [--phase-interval N] [--artifacts DIR]``
     A mixes×schemes grid fanned out over worker processes, with
-    optional live heartbeat telemetry and per-cell stall reports.
+    optional live heartbeat telemetry, per-cell stall reports, phase
+    sampling, and a per-cell run-artifact ledger under DIR.
+``dash ARTIFACTS OUT.html [--title T]``
+    Render an artifacts directory (or one artifact) into a
+    self-contained HTML dashboard: SVG sparklines of the phase series,
+    stall-mix stacked bars, adaptation timelines.  No external assets.
+``compare A B [--check] [--threshold PCT]``
+    Diff two artifact sets by (workload, scheme): per-workload IPC
+    deltas, stall-mix shifts, geomean total-IPC ratio.  With
+    ``--check``, exit 1 when the geomean drops more than PCT percent
+    (default 2) — the simulated-metric regression gate for CI.
 ``bench [--which cycle-loop|campaign|all] [--workers N] [--reps N]
 [--workloads A,B] [--out PATH] [--check]``
     Wall-clock perf benchmarks; writes ``BENCH_*.json`` at the root
@@ -81,12 +94,18 @@ def cmd_characterize(_args) -> int:
 def _obs_options(args):
     """Resolve the observability request of a run-like command."""
     from repro.obs import ObsOptions
+    kwargs = {}
+    phase_interval = getattr(args, "phase_interval", None)
+    if phase_interval:
+        kwargs["phase"] = True
+        kwargs["phase_interval"] = phase_interval
     if getattr(args, "trace", None):
         return ObsOptions(trace=True,
                           trace_issue_sample=args.issue_sample,
-                          trace_mem_sample=args.mem_sample)
-    if getattr(args, "obs", False):
-        return ObsOptions()
+                          trace_mem_sample=args.mem_sample, **kwargs)
+    if kwargs or getattr(args, "obs", False) \
+            or getattr(args, "artifacts", None):
+        return ObsOptions(**kwargs)
     return None
 
 
@@ -111,6 +130,20 @@ def cmd_run(args) -> int:
         from repro.obs import format_stall_report
         print()
         print(format_stall_report(report))
+    if report is not None and report.phases:
+        record = report.phases[0]
+        events = record.get("adapt_events", [])
+        samples = len(record.get("series", {}).get("cycle", []))
+        print(f"\nphase telemetry: {samples} samples @ "
+              f"{record['interval']}-cycle interval, "
+              f"{len(events)} adaptation events")
+    if args.artifacts:
+        from repro.obs import ledger
+        artifact = ledger.artifact_from_outcome(
+            outcome, runner.config, runner.settings,
+            git_sha=ledger.current_git_sha())
+        paths = ledger.write_artifacts(args.artifacts, [artifact])
+        print(f"artifact written to {paths[0]}")
     if getattr(args, "trace", None):
         report.write_trace(args.trace)
         print(f"\ntrace written to {args.trace} "
@@ -156,7 +189,7 @@ def cmd_trace(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.harness.report import write_report
+    from repro.harness.reporting import write_report
     settings = (RunnerSettings(iso_cycles=3000, curve_cycles=2000,
                                concurrent_cycles=4000)
                 if args.quick else None)
@@ -182,8 +215,11 @@ def cmd_campaign(args) -> int:
     if args.progress:
         from repro.obs import CampaignTelemetry
         telemetry = CampaignTelemetry()
+    obs = args.obs or bool(args.phase_interval) or bool(args.artifacts)
     outcomes = runner.run_campaign(mixes, schemes, workers=args.workers,
-                                   obs=args.obs, progress=telemetry)
+                                   obs=obs, progress=telemetry,
+                                   phase_interval=args.phase_interval,
+                                   artifacts_dir=args.artifacts)
     if telemetry is not None:
         print(telemetry.summary(), file=sys.stderr)
     rows = [[o.mix_name, o.scheme, str(o.partition), o.weighted_speedup,
@@ -191,14 +227,51 @@ def cmd_campaign(args) -> int:
     print(format_table(
         ["mix", "scheme", "TBs/SM", "WS", "ANTT", "fairness"],
         rows, precision=3))
-    if args.obs:
+    if obs:
         from repro.obs import format_stall_report
         from repro.obs.collector import ObsReport
         reports = [o.result.obs for o in outcomes if o.result.obs is not None]
         if reports:
             print()
             print(f"stall attribution merged over {len(reports)} cells:")
-            print(format_stall_report(ObsReport.merged(reports)))
+            merged = ObsReport.merged(reports)
+            print(format_stall_report(merged))
+            if merged.phases:
+                events = sum(len(r.get("adapt_events", []))
+                             for r in merged.phases)
+                print(f"\nphase telemetry: {len(merged.phases)} records, "
+                      f"{events} adaptation events")
+    if args.artifacts:
+        print(f"artifacts written to {args.artifacts}/", file=sys.stderr)
+    return 0
+
+
+def cmd_dash(args) -> int:
+    from repro.obs import ledger
+    from repro.obs.dash import write_dashboard
+    artifacts = ledger.load_artifacts(args.artifacts)
+    if not artifacts:
+        print(f"error: no valid artifacts under {args.artifacts}",
+              file=sys.stderr)
+        return 2
+    ordered = [artifacts[key] for key in sorted(artifacts)]
+    write_dashboard(args.out, ordered, title=args.title)
+    print(f"dashboard with {len(ordered)} artifact(s) written to {args.out}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.obs.compare import compare_paths, format_comparison
+    comparison = compare_paths(args.a, args.b)
+    print(format_comparison(comparison, threshold_pct=args.threshold))
+    if not comparison.cells:
+        print("error: no overlapping (workload, scheme) cells",
+              file=sys.stderr)
+        return 2
+    if args.check and comparison.regressed(args.threshold):
+        print(f"compare: geomean total-IPC regression beyond "
+              f"{args.threshold:g}% threshold", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -286,6 +359,13 @@ def main(argv=None) -> int:
                      help="record every Nth warp-issue slice (default 16)")
     run.add_argument("--mem-sample", type=int, default=4,
                      help="trace every Nth memory request (default 4)")
+    run.add_argument("--phase-interval", type=int, default=None,
+                     metavar="N",
+                     help="sample phase time-series every N cycles "
+                          "(implies --obs)")
+    run.add_argument("--artifacts", metavar="DIR", default=None,
+                     help="write a versioned run-artifact JSON under DIR "
+                          "(implies --obs)")
     run.set_defaults(fn=cmd_run)
 
     stalls = sub.add_parser("stalls")
@@ -322,7 +402,35 @@ def main(argv=None) -> int:
     campaign.add_argument("--obs", action="store_true",
                           help="observe each cell; print a merged stall "
                                "report after the table")
+    campaign.add_argument("--phase-interval", type=int, default=None,
+                          metavar="N",
+                          help="sample phase time-series in every cell "
+                               "every N cycles (implies --obs)")
+    campaign.add_argument("--artifacts", metavar="DIR", default=None,
+                          help="write one run-artifact JSON per cell plus "
+                               "a ledger.json index under DIR "
+                               "(implies --obs)")
     campaign.set_defaults(fn=cmd_campaign)
+
+    dash = sub.add_parser("dash")
+    dash.add_argument("artifacts", metavar="ARTIFACTS",
+                      help="artifacts directory (or one artifact JSON)")
+    dash.add_argument("out", metavar="OUT.html")
+    dash.add_argument("--title", default=None)
+    dash.set_defaults(fn=cmd_dash)
+
+    compare = sub.add_parser("compare")
+    compare.add_argument("a", metavar="A",
+                         help="baseline artifacts directory or file")
+    compare.add_argument("b", metavar="B",
+                         help="candidate artifacts directory or file")
+    compare.add_argument("--check", action="store_true",
+                         help="exit 1 when the geomean total-IPC ratio "
+                              "drops beyond the threshold")
+    compare.add_argument("--threshold", type=float, default=2.0,
+                         metavar="PCT",
+                         help="allowed geomean drop in percent (default 2)")
+    compare.set_defaults(fn=cmd_compare)
 
     bench = sub.add_parser("bench")
     bench.add_argument("--which", default="all",

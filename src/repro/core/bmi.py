@@ -167,11 +167,16 @@ class QuotaBMI(MemIssuePolicy):
         self._replenish()
 
     def _replenish(self) -> None:
-        fresh = compute_quotas([est.value for est in self.estimators])
+        estimates = [est.value for est in self.estimators]
+        fresh = compute_quotas(estimates)
+        old_quotas = self.quotas
+        if self._obs is not None:
+            old_quotas = list(old_quotas)
         for i, quota in enumerate(fresh):
             self.quotas[i] += quota
         if self._obs is not None:
-            self._obs.qbmi_replenish(self._obs_key, self.quotas)
+            self._obs.qbmi_replenish(self._obs_key, old_quotas,
+                                     self.quotas, estimates)
         if self.on_window is not None:
             self.on_window()
 

@@ -74,6 +74,10 @@ class MILG:
             self._recompute(current_inflight)
 
     def _recompute(self, current_inflight: int) -> None:
+        # Capture the pre-update state for the adaptation event log
+        # before the window counters are reset below.
+        old_limit = self.limit
+        window_rsfails = self._rsfails
         fails_per_request = self._rsfails >> self.shift
         if fails_per_request >= 1:
             self.limit = max(self._peak_inflight - fails_per_request, 1)
@@ -89,8 +93,8 @@ class MILG:
         self._rsfails = 0
         self._requests = 0
         if self._obs is not None:
-            self._obs.mil_update(self._obs_key, self.limit,
-                                 self.windows_completed)
+            self._obs.mil_update(self._obs_key, old_limit, self.limit,
+                                 window_rsfails, self.windows_completed)
         if self.on_window is not None:
             self.on_window()
 

@@ -9,7 +9,13 @@ from repro.harness.runner import (
     WorkloadOutcome,
     run_pair,
 )
-from repro.harness.reporting import format_series, format_table, geomean
+from repro.harness.reporting import (
+    build_report,
+    format_series,
+    format_table,
+    geomean,
+    write_report,
+)
 from repro.harness import experiments
 
 __all__ = [
@@ -18,6 +24,8 @@ __all__ = [
     "IsoRecord",
     "WorkloadOutcome",
     "run_pair",
+    "build_report",
+    "write_report",
     "format_table",
     "format_series",
     "geomean",

@@ -73,12 +73,18 @@ class MixJob:
     the outcome's ``result.obs`` carries a picklable
     :class:`~repro.obs.collector.ObsReport` (stall taxonomy + counter
     snapshot) back across the worker boundary, mergeable in the parent
-    with ``ObsReport.merged``."""
+    with ``ObsReport.merged``.
+
+    ``phase_interval`` additionally turns on the phase sampler
+    (:mod:`repro.obs.timeline`) at that cycle interval — the report
+    then also carries the run's phase records and adaptation event
+    log (implies ``obs``)."""
 
     kernels: Tuple[str, ...]
     scheme: str = "ws"
     cycles: Optional[int] = None
     obs: bool = False
+    phase_interval: Optional[int] = None
 
 
 Job = Union[IsoJob, CurveJob, MixJob]
@@ -153,8 +159,11 @@ def execute_job(runner: ExperimentRunner, job: Job):
         return runner.curve(get_profile(job.kernel))
     if isinstance(job, MixJob):
         mix = WorkloadMix(tuple(get_profile(k) for k in job.kernels))
-        return runner.run_mix(mix, job.scheme, cycles=job.cycles,
-                              obs=job.obs or None)
+        obs: object = job.obs or None
+        if job.phase_interval:
+            from repro.obs.collector import ObsOptions
+            obs = ObsOptions(phase=True, phase_interval=job.phase_interval)
+        return runner.run_mix(mix, job.scheme, cycles=job.cycles, obs=obs)
     raise TypeError(f"unknown job type {type(job).__name__}")
 
 
@@ -354,10 +363,11 @@ def run_jobs(runner: ExperimentRunner, jobs: Sequence[Job],
 
 
 def campaign_jobs(mixes: Sequence[WorkloadMix], schemes: Sequence[str],
-                  cycles: Optional[int] = None,
-                  obs: bool = False) -> List[MixJob]:
+                  cycles: Optional[int] = None, obs: bool = False,
+                  phase_interval: Optional[int] = None) -> List[MixJob]:
     """The mix-major grid of cells for a mixes×schemes campaign."""
-    return [MixJob(tuple(p.name for p in mix.profiles), scheme, cycles, obs)
+    return [MixJob(tuple(p.name for p in mix.profiles), scheme, cycles, obs,
+                   phase_interval)
             for mix in mixes for scheme in schemes]
 
 
@@ -378,7 +388,9 @@ def run_campaign(runner: ExperimentRunner, mixes: Sequence[WorkloadMix],
                  schemes: Sequence[str], workers: Optional[int] = None,
                  cycles: Optional[int] = None,
                  chunksize: int = 1, obs: bool = False,
-                 progress: Optional[ProgressFn] = None
+                 progress: Optional[ProgressFn] = None,
+                 phase_interval: Optional[int] = None,
+                 artifacts_dir: Optional[str] = None
                  ) -> List[WorkloadOutcome]:
     """Run the full mixes×schemes grid, in parallel, in two phases.
 
@@ -388,10 +400,27 @@ def run_campaign(runner: ExperimentRunner, mixes: Sequence[WorkloadMix],
     mix-major grid order, bit-identical to the serial loop.
 
     ``obs=True`` runs every cell observed (stall-attribution report on
-    each outcome's ``result.obs``); ``progress`` receives live
+    each outcome's ``result.obs``); ``phase_interval`` also turns on
+    the phase sampler in every cell; ``progress`` receives live
     :class:`JobHeartbeat` telemetry from both phases.
+
+    ``artifacts_dir`` makes the parent emit one run-artifact JSON per
+    cell (plus the ``ledger.json`` index) after all workers return —
+    workers only ship picklable reports back, the ledger write happens
+    in exactly one process.
     """
     run_jobs(runner, prefetch_jobs(mixes, schemes), workers=workers,
              chunksize=chunksize, progress=progress)
-    return run_jobs(runner, campaign_jobs(mixes, schemes, cycles, obs=obs),
-                    workers=workers, chunksize=chunksize, progress=progress)
+    outcomes = run_jobs(
+        runner,
+        campaign_jobs(mixes, schemes, cycles, obs=obs,
+                      phase_interval=phase_interval),
+        workers=workers, chunksize=chunksize, progress=progress)
+    if artifacts_dir:
+        from repro.obs import ledger
+        sha = ledger.current_git_sha()
+        ledger.write_artifacts(artifacts_dir, [
+            ledger.artifact_from_outcome(outcome, runner.config,
+                                         runner.settings, git_sha=sha)
+            for outcome in outcomes])
+    return outcomes

@@ -255,18 +255,27 @@ class ExperimentRunner:
                      workers: Optional[int] = None,
                      cycles: Optional[int] = None,
                      obs: bool = False,
-                     progress=None) -> List[WorkloadOutcome]:
+                     progress=None,
+                     phase_interval: Optional[int] = None,
+                     artifacts_dir: Optional[str] = None
+                     ) -> List[WorkloadOutcome]:
         """Run every mix under every scheme, fanned over worker
         processes; outcomes in mix-major grid order, bit-identical to
         the serial loop.
 
         ``obs=True`` attaches a stall-attribution report to every
-        cell's result; ``progress`` (e.g. a
+        cell's result; ``phase_interval`` also samples interval
+        time-series + the adaptation event log in every cell
+        (:mod:`repro.obs.timeline`); ``artifacts_dir`` writes one
+        versioned run artifact per cell plus a ``ledger.json`` index
+        (:mod:`repro.obs.ledger`); ``progress`` (e.g. a
         :class:`~repro.obs.telemetry.CampaignTelemetry`) receives one
         :class:`~repro.obs.telemetry.JobHeartbeat` per finished job."""
         from repro.harness.parallel import run_campaign
         return run_campaign(self, mixes, schemes, workers=workers,
-                            cycles=cycles, obs=obs, progress=progress)
+                            cycles=cycles, obs=obs, progress=progress,
+                            phase_interval=phase_interval,
+                            artifacts_dir=artifacts_dir)
 
     # ------------------------------------------------------------------
     # scheme resolution

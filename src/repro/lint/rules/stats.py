@@ -11,14 +11,17 @@ that silently drops a class.  These rules machine-check it:
   as a source literal must parse as a dotted name (f-string
   placeholders count as one segment-safe token), and a literal leaf
   under an ``issue.`` / ``stall.`` segment must belong to the declared
-  taxonomy.
+  taxonomy; leaves under ``phase.`` / ``adapt.`` must belong to the
+  phase-telemetry registry schema.
 * **REPRO-S002** — stall-reason literals passed to
   ``StallTable.bump_sched`` / ``bump_lsu`` must belong to the declared
-  scheduler / LSU taxonomy.
+  scheduler / LSU taxonomy; mechanism literals passed to
+  ``PhaseSampler.log_adapt`` must belong to the declared adaptation
+  mechanisms.
 * **REPRO-S003** — an ``if``/``elif`` chain that classifies into stall
-  constants must be exhaustive: it needs a final ``else`` (the
-  ``STALL_OTHER`` residual), otherwise unclassified slots silently
-  break the exact-sum invariant.
+  (or adaptation-mechanism) constants must be exhaustive: it needs a
+  final ``else`` (the ``STALL_OTHER`` residual), otherwise
+  unclassified slots silently break the exact-sum invariant.
 """
 
 from __future__ import annotations
@@ -29,6 +32,11 @@ from typing import List, Optional, Set
 
 from repro.lint.rules import Rule, SRC_SCOPE, expr_key
 from repro.obs.stalls import ISSUED, LSU_STALL_REASONS, SCHED_STALL_REASONS
+from repro.obs.timeline import (
+    ADAPT_MECHANISMS,
+    ADAPT_REGISTRY_LEAVES,
+    PHASE_REGISTRY_LEAVES,
+)
 
 #: registry methods whose first argument is a dotted metric name.
 _REGISTRY_METHODS = frozenset(("counter", "gauge", "bump", "set", "scoped"))
@@ -42,11 +50,25 @@ _SEGMENT_RE = re.compile(r"[A-Za-z0-9_\x00]+\Z")
 SCHED_REASONS: Set[str] = set(SCHED_STALL_REASONS) | {ISSUED}
 LSU_REASONS: Set[str] = set(LSU_STALL_REASONS)
 ALL_REASONS: Set[str] = SCHED_REASONS | LSU_REASONS
+#: adaptation-mechanism labels (phase-telemetry event log taxonomy).
+ADAPT_REASONS: Set[str] = set(ADAPT_MECHANISMS)
+
+#: segment -> allowed literal leaves beneath it (None = any leaf from
+#: ALL_REASONS; see CounterNameRule.check).
+_SEGMENT_LEAVES = {
+    "issue": ALL_REASONS,
+    "stall": ALL_REASONS,
+    "phase": set(PHASE_REGISTRY_LEAVES),
+    "adapt": set(ADAPT_REGISTRY_LEAVES),
+}
 
 #: names of the taxonomy constants as they appear in source.
-TAXONOMY_CONST_NAMES: Set[str] = {"ISSUED"} | {
+TAXONOMY_CONST_NAMES: Set[str] = {"ISSUED", "ADAPT_MIL", "ADAPT_QBMI"} | {
     f"STALL_{reason.upper()}" for reason in SCHED_STALL_REASONS
 }
+
+#: string literals that mark a classification chain for REPRO-S003.
+CHAIN_LITERALS: Set[str] = ALL_REASONS | ADAPT_REASONS
 
 
 def _literal_pattern(node: ast.AST) -> Optional[str]:
@@ -79,7 +101,8 @@ class CounterNameRule(Rule):
         "The registry's fnmatch queries, snapshot merging and tree "
         "nesting all key on dotted names; a malformed literal silently "
         "creates an unreachable metric.  Literal leaves under issue./"
-        "stall. segments must come from the declared taxonomy or the "
+        "stall. segments must come from the declared taxonomy (and "
+        "under phase./adapt. from the phase-telemetry schema) or the "
         "exact-sum reports miss them.")
     hint = ("use dot-separated [A-Za-z0-9_] segments, e.g. "
             "f\"sm{sm_id}.lsu.stall_cycles\"; spell taxonomy leaves via "
@@ -111,13 +134,18 @@ class CounterNameRule(Rule):
                            f"(segments of [A-Za-z0-9_])")
                 continue
             segments = pattern.split(".")
-            if (len(segments) >= 2 and segments[-2] in ("issue", "stall")
-                    and _HOLE not in segments[-1]
-                    and segments[-1] not in ALL_REASONS):
+            if len(segments) < 2 or _HOLE in segments[-1]:
+                continue
+            allowed_leaves = _SEGMENT_LEAVES.get(segments[-2])
+            if allowed_leaves is not None \
+                    and segments[-1] not in allowed_leaves:
+                family = ("stall taxonomy"
+                          if segments[-2] in ("issue", "stall")
+                          else "phase-telemetry registry schema")
                 ctx.report(node.args[0],
                            f"leaf {segments[-1]!r} under "
                            f"{segments[-2]!r} is not in the declared "
-                           f"stall taxonomy")
+                           f"{family}")
 
 
 class StallReasonRule(Rule):
@@ -126,20 +154,29 @@ class StallReasonRule(Rule):
     id = "REPRO-S002"
     name = "stall-reason"
     rationale = (
-        "StallTable accumulates by raw reason string; a literal "
+        "StallTable accumulates by raw reason string (and the phase "
+        "sampler's adaptation log by raw mechanism string); a literal "
         "outside the taxonomy creates a class the reports never "
         "display, breaking the slots-sum-exactly invariant checked by "
         "the stall tests.")
     hint = ("use the constants from repro.obs.stalls (STALL_*, ISSUED, "
-            "LSU_STALL_REASONS members)")
+            "LSU_STALL_REASONS members) / repro.obs.timeline (ADAPT_*)")
     scope = SRC_SCOPE
     bad = 'table.bump_sched(sm, sched, k, "warp_jam")'
     good = "table.bump_sched(sm, sched, k, STALL_SCOREBOARD)"
 
-    #: method name -> (positional index of ``reason``, allowed set).
+    #: method name -> (positional index of the class argument, family).
     _SITES = {
-        "bump_sched": (3, "scheduler"),
-        "bump_lsu": (2, "LSU"),
+        "bump_sched": (3, "scheduler stall"),
+        "bump_lsu": (2, "LSU stall"),
+        "log_adapt": (0, "adaptation mechanism"),
+    }
+
+    #: family -> (allowed class literals, keyword spelling of the arg).
+    _FAMILIES = {
+        "scheduler stall": (SCHED_REASONS, "reason"),
+        "LSU stall": (LSU_REASONS, "reason"),
+        "adaptation mechanism": (ADAPT_REASONS, "mechanism"),
     }
 
     def check(self, tree: ast.AST, ctx) -> None:
@@ -153,20 +190,20 @@ class StallReasonRule(Rule):
             if site is None:
                 continue
             index, family = site
-            allowed = SCHED_REASONS if family == "scheduler" else LSU_REASONS
+            allowed, keyword = self._FAMILIES[family]
             reason_arg = None
             if len(node.args) > index:
                 reason_arg = node.args[index]
             else:
                 for kw in node.keywords:
-                    if kw.arg == "reason":
+                    if kw.arg == keyword:
                         reason_arg = kw.value
             if (isinstance(reason_arg, ast.Constant)
                     and isinstance(reason_arg.value, str)
                     and reason_arg.value not in allowed):
                 ctx.report(reason_arg,
                            f"{reason_arg.value!r} is not a declared "
-                           f"{family} stall class "
+                           f"{family} class "
                            f"({', '.join(sorted(allowed))})")
 
 
@@ -237,6 +274,6 @@ class ExhaustiveStallChainRule(Rule):
                     return st.targets[0].id
                 if (isinstance(value, ast.Constant)
                         and isinstance(value.value, str)
-                        and value.value in ALL_REASONS):
+                        and value.value in CHAIN_LITERALS):
                     return st.targets[0].id
         return None

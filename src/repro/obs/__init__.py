@@ -16,6 +16,13 @@ instrumentation:
   and DMIL/QBMI quota-change instants, behind sampling controls;
 * :mod:`repro.obs.telemetry` — live heartbeat/progress telemetry for
   parallel experiment campaigns;
+* :mod:`repro.obs.timeline` — the phase sampler: interval time-series
+  (IPC, stall mix, occupancies, DMIL caps, QBMI quotas, DRAM
+  bandwidth) plus the mechanism-adaptation event log;
+* :mod:`repro.obs.ledger` — durable versioned JSON run artifacts
+  (config fingerprint, git sha, metrics, phase records);
+* :mod:`repro.obs.dash` / :mod:`repro.obs.compare` — the standalone
+  HTML dashboard renderer and the ``repro compare`` regression gate;
 * :mod:`repro.obs.collector` — :class:`Observability`, the per-run
   façade the engine wires through the SMs, schedulers, LSUs and the
   memory backend.
@@ -29,6 +36,14 @@ bit-identical (the perf suite proves fast == reference on every run).
 """
 
 from repro.obs.collector import Observability, ObsOptions, ObsReport
+from repro.obs.compare import Comparison, compare_paths, format_comparison
+from repro.obs.dash import render_dashboard, write_dashboard
+from repro.obs.ledger import (
+    ARTIFACT_VERSION,
+    artifact_from_outcome,
+    load_artifacts,
+    write_artifacts,
+)
 from repro.obs.registry import Counter, CounterRegistry, Gauge, process_registry
 from repro.obs.stalls import (
     ISSUED,
@@ -46,12 +61,29 @@ from repro.obs.stalls import (
     format_stall_report,
 )
 from repro.obs.telemetry import CampaignTelemetry, JobHeartbeat
+from repro.obs.timeline import (
+    ADAPT_MECHANISMS,
+    ADAPT_MIL,
+    ADAPT_QBMI,
+    AdaptEvent,
+    DEFAULT_PHASE_INTERVAL,
+    PhaseSampler,
+    adapt_events_from_record,
+    merge_phase_records,
+)
 from repro.obs.trace import TraceRecorder
 
 __all__ = [
+    "ADAPT_MECHANISMS",
+    "ADAPT_MIL",
+    "ADAPT_QBMI",
+    "ARTIFACT_VERSION",
+    "AdaptEvent",
     "CampaignTelemetry",
+    "Comparison",
     "Counter",
     "CounterRegistry",
+    "DEFAULT_PHASE_INTERVAL",
     "Gauge",
     "ISSUED",
     "JobHeartbeat",
@@ -59,6 +91,7 @@ __all__ = [
     "Observability",
     "ObsOptions",
     "ObsReport",
+    "PhaseSampler",
     "SCHED_STALL_REASONS",
     "STALL_BMI_LOSS",
     "STALL_EXEC_PORT",
@@ -70,6 +103,15 @@ __all__ = [
     "STALL_SMK_GATE",
     "StallTable",
     "TraceRecorder",
+    "adapt_events_from_record",
+    "artifact_from_outcome",
+    "compare_paths",
+    "format_comparison",
     "format_stall_report",
+    "load_artifacts",
+    "merge_phase_records",
     "process_registry",
+    "render_dashboard",
+    "write_artifacts",
+    "write_dashboard",
 ]

@@ -22,10 +22,17 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.registry import CounterRegistry, Number, aggregate, snapshot_tree
 from repro.obs.stalls import KERNEL_NONE, StallTable
+from repro.obs.timeline import (
+    ADAPT_MIL,
+    ADAPT_QBMI,
+    DEFAULT_PHASE_INTERVAL,
+    PhaseSampler,
+    merge_phase_records,
+)
 from repro.obs.trace import DEFAULT_MAX_EVENTS, TraceRecorder, write_trace_events
 
 #: registry names that merge as gauges (latest value) across workers.
-GAUGE_NAMES_HINT = ("*.limit", "*.rate", "engine.cycles")
+GAUGE_NAMES_HINT = ("*.limit", "*.rate", "engine.cycles", "phase.interval")
 
 
 @dataclass(frozen=True)
@@ -41,6 +48,11 @@ class ObsOptions:
     trace_mem_sample: int = 4
     #: hard cap on buffered trace events.
     trace_max_events: int = DEFAULT_MAX_EVENTS
+    #: record interval time-series + the adaptation event log
+    #: (:mod:`repro.obs.timeline`).
+    phase: bool = False
+    #: sampling interval in cycles for the phase sampler.
+    phase_interval: int = DEFAULT_PHASE_INTERVAL
 
 
 class Observability:
@@ -50,6 +62,12 @@ class Observability:
         self.options = options or ObsOptions()
         self.registry = CounterRegistry()
         self.stalls = StallTable()
+        #: current simulation cycle, maintained by the engine's sampled
+        #: reference loop; timestamps the adaptation event log.
+        self.cycle = 0
+        self.sampler: Optional[PhaseSampler] = None
+        if self.options.phase:
+            self.sampler = PhaseSampler(self.options.phase_interval)
         self.trace: Optional[TraceRecorder] = None
         if self.options.trace:
             self.trace = TraceRecorder(
@@ -145,13 +163,22 @@ class Observability:
                         request.trace_id, cycle)
         request.trace_id = None
 
-    def mil_update(self, key: Tuple[int, int], limit: Optional[int],
+    def mil_update(self, key: Tuple[int, int], old_limit: Optional[int],
+                   limit: Optional[int], window_rsfails: int,
                    windows: int) -> None:
-        """A MILG recomputed its in-flight limit (DMIL quota change)."""
+        """A MILG recomputed its in-flight limit (DMIL quota change).
+
+        ``old_limit``/``window_rsfails`` are captured *before* the MILG
+        resets its window so the adaptation log can show the
+        ``old -> new`` transition and what drove it."""
         sm_id, kernel = key
         scope = self.registry.scoped(f"sm{sm_id}.mil.k{kernel}")
         scope.counter("recomputes").add()
         scope.gauge("limit").set(-1 if limit is None else limit)
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.log_adapt(ADAPT_MIL, self.cycle, sm_id, kernel,
+                              old_limit, limit, rsfails=window_rsfails)
         trace = self.trace
         if trace is not None:
             shown = -1 if limit is None else limit
@@ -160,9 +187,19 @@ class Observability:
             trace.counter(f"dmil limit k{kernel}", sm_id, windows,
                           {"limit": float(shown)})
 
-    def qbmi_replenish(self, sm_id: int, quotas: Sequence[int]) -> None:
-        """QBMI re-armed its per-kernel quota set."""
+    def qbmi_replenish(self, sm_id: int, old_quotas: Sequence[int],
+                       quotas: Sequence[int],
+                       estimates: Sequence[int]) -> None:
+        """QBMI re-armed its per-kernel quota set.  ``old_quotas`` is
+        the (possibly exhausted) set before the replenish, ``estimates``
+        the windowed Req/Minst values the fresh quotas derive from."""
         self.registry.counter(f"sm{sm_id}.bmi.replenishes").add()
+        sampler = self.sampler
+        if sampler is not None:
+            for kernel, new in enumerate(quotas):
+                sampler.log_adapt(ADAPT_QBMI, self.cycle, sm_id, kernel,
+                                  old_quotas[kernel], new,
+                                  req_per_minst=estimates[kernel])
         trace = self.trace
         if trace is not None:
             trace.instant("qbmi:replenish", "quota", sm_id, 0,
@@ -221,6 +258,15 @@ class Observability:
             _refold(folded, f"sm{sm_id}.lsu.{reason}.k{kernel}", v)
         for name, v in folded.items():
             registry.set(name, v)
+        sampler = self.sampler
+        phases: List[Dict[str, object]] = []
+        if sampler is not None:
+            registry.set("phase.interval", sampler.interval)
+            registry.set("phase.samples", sampler.samples)
+            event_counts = sampler.adapt_event_counts()
+            registry.set("adapt.mil_events", event_counts[ADAPT_MIL])
+            registry.set("adapt.qbmi_events", event_counts[ADAPT_QBMI])
+            phases.append(sampler.snapshot(gpu))
 
         return ObsReport(
             cycles=gpu.cycles_run,
@@ -234,6 +280,7 @@ class Observability:
                           if self.trace is not None else None),
             trace_dropped=(self.trace.dropped
                            if self.trace is not None else 0),
+            phases=phases,
         )
 
 
@@ -263,6 +310,9 @@ class ObsReport:
     lsu_stalls: Dict[Tuple[int, int, str], int] = field(default_factory=dict)
     trace_events: Optional[List[Dict[str, object]]] = None
     trace_dropped: int = 0
+    #: phase records (one per observed run with the sampler on) —
+    #: JSON-safe dicts, schema in :mod:`repro.obs.timeline`.
+    phases: List[Dict[str, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def stall_table(self) -> StallTable:
@@ -333,6 +383,8 @@ class ObsReport:
             for name, v in report.counters.items():
                 out.counters[name] = out.counters.get(name, 0) + v
             out.trace_dropped += report.trace_dropped
+        out.phases = merge_phase_records([report.phases
+                                          for report in reports])
         return out
 
 

@@ -1,0 +1,215 @@
+"""Dependency-free HTML dashboard for run artifacts.
+
+`repro dash ARTIFACTS OUT.html` renders a ledger directory (or a
+single artifact) into one self-contained HTML file: inline SVG
+sparklines for the phase time-series, stacked bars for the issue-slot
+stall mix, and adaptation timelines (DMIL cap / QBMI quota series with
+event markers).  No external assets, scripts or fonts — the file opens
+anywhere, uploads as a CI workflow artifact, and diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.stalls import SCHED_STALL_REASONS
+from repro.obs.timeline import ADAPT_MIL, adapt_events_from_record
+
+#: fixed palette (reason -> colour) for the stall-mix bars; the
+#: remainder bucket and sparklines reuse the same scheme.
+_PALETTE = ("#2f7ed8", "#c0392b", "#27ae60", "#8e44ad", "#f39c12",
+            "#16a085", "#7f8c8d", "#d35400", "#2c3e50", "#9b59b6")
+
+_CSS = """
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+h3 { font-size: 0.95em; margin: 0.8em 0 0.2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #ccc; padding: 0.25em 0.6em;
+         font-size: 0.85em; text-align: right; }
+th { background: #f0f0f0; }
+td.l, th.l { text-align: left; }
+.spark { margin: 0.2em 1em 0.2em 0; display: inline-block; }
+.label { font-size: 0.75em; color: #555; }
+.legend { font-size: 0.75em; color: #555; margin: 0.2em 0; }
+.chip { display: inline-block; width: 0.8em; height: 0.8em;
+        margin-right: 0.2em; vertical-align: middle; }
+.meta { font-size: 0.8em; color: #666; }
+"""
+
+
+def _sparkline(values: Sequence[float], width: int = 220, height: int = 36,
+               color: str = "#2f7ed8") -> str:
+    """One inline-SVG sparkline (auto-scaled, min/max annotated)."""
+    values = [float(v) for v in values]
+    if not values:
+        return "<svg class='spark' width='%d' height='%d'></svg>" % (
+            width, height)
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    step = width / max(1, n - 1)
+    pts = []
+    for i, v in enumerate(values):
+        x = i * step if n > 1 else width / 2
+        y = height - 2 - (v - lo) / span * (height - 4)
+        pts.append(f"{x:.1f},{y:.1f}")
+    return (
+        f"<svg class='spark' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<polyline fill='none' stroke='{color}' stroke-width='1.5' "
+        f"points='{' '.join(pts)}'/>"
+        f"<title>min {lo:.4g} / max {hi:.4g}</title></svg>")
+
+
+def _stacked_bar(shares: Dict[str, float], width: int = 420,
+                 height: int = 18) -> str:
+    """One horizontal stacked bar of reason -> share (0..1)."""
+    parts = []
+    x = 0.0
+    for i, (reason, share) in enumerate(sorted(shares.items())):
+        w = max(0.0, float(share)) * width
+        if w <= 0:
+            continue
+        color = _PALETTE[i % len(_PALETTE)]
+        parts.append(
+            f"<rect x='{x:.1f}' y='0' width='{w:.1f}' height='{height}' "
+            f"fill='{color}'><title>{html.escape(reason)}: "
+            f"{share * 100:.1f}%</title></rect>")
+        x += w
+    return (f"<svg width='{width}' height='{height}' "
+            f"viewBox='0 0 {width} {height}'>{''.join(parts)}</svg>")
+
+
+def _stall_legend(shares: Dict[str, float]) -> str:
+    chips = []
+    for i, (reason, share) in enumerate(sorted(shares.items())):
+        color = _PALETTE[i % len(_PALETTE)]
+        chips.append(f"<span class='chip' style='background:{color}'></span>"
+                     f"{html.escape(reason)} {share * 100:.1f}%")
+    return "<div class='legend'>" + " &nbsp; ".join(chips) + "</div>"
+
+
+def _series_block(record: Dict[str, object], kernels: Sequence[str]) -> str:
+    """Sparkline panels for one phase record."""
+    series: Dict[str, List[float]] = record.get("series", {})
+    if not series:
+        return "<p class='meta'>no phase series recorded</p>"
+    out: List[str] = []
+    interval = record.get("interval")
+    out.append(f"<p class='meta'>phase record: {len(series.get('cycle', []))}"
+               f" samples, interval {interval} cycles</p>")
+    global_names = [("dram.bw_util", "DRAM bandwidth util")]
+    shown: List[str] = []
+    for name, label in global_names:
+        if name in series:
+            shown.append(f"<span><div class='label'>{html.escape(label)}"
+                         f"</div>{_sparkline(series[name])}</span>")
+    out.append("<div>" + "".join(shown) + "</div>")
+    for slot, kernel in enumerate(kernels):
+        panels = []
+        for suffix, label, color in (
+                ("ipc", "IPC", "#2f7ed8"),
+                ("inflight", "in-flight minsts", "#27ae60"),
+                ("mil_limit", "DMIL cap", "#c0392b"),
+                ("quota", "QBMI quota", "#8e44ad"),
+                ("req_per_minst", "Req/Minst", "#f39c12"),
+                ("l1d_miss_rate", "L1D miss rate", "#16a085")):
+            name = f"k{slot}.{suffix}"
+            if name in series:
+                panels.append(
+                    f"<span><div class='label'>{html.escape(label)}</div>"
+                    f"{_sparkline(series[name], color=color)}</span>")
+        out.append(f"<h3>{html.escape(kernel)}#{slot}</h3>"
+                   "<div>" + "".join(panels) + "</div>")
+    return "".join(out)
+
+
+def _adapt_block(record: Dict[str, object], kernels: Sequence[str],
+                 max_rows: int = 12) -> str:
+    """Adaptation-timeline table (first ``max_rows`` events)."""
+    events = adapt_events_from_record(record)
+    if not events:
+        return ""
+    rows = []
+    for event in events[:max_rows]:
+        kernel = (kernels[event.kernel]
+                  if 0 <= event.kernel < len(kernels) else f"k{event.kernel}")
+        detail = (f"rsfails {event.rsfails}" if event.mechanism == ADAPT_MIL
+                  else f"Req/Minst {event.req_per_minst}")
+        old = "unltd" if event.old is None else str(event.old)
+        new = "unltd" if event.new is None else str(event.new)
+        rows.append(
+            f"<tr><td>{event.cycle}</td><td class='l'>"
+            f"{html.escape(event.mechanism)}</td>"
+            f"<td class='l'>{html.escape(kernel)}#{event.kernel}</td>"
+            f"<td>{old} &rarr; {new}</td>"
+            f"<td class='l'>{html.escape(detail)}</td></tr>")
+    more = ""
+    if len(events) > max_rows:
+        more = (f"<p class='meta'>... {len(events) - max_rows} more "
+                "adaptation events</p>")
+    return ("<h3>mechanism adaptations</h3><table><tr><th>cycle</th>"
+            "<th class='l'>mech</th><th class='l'>kernel</th>"
+            "<th>old &rarr; new</th><th class='l'>window</th></tr>"
+            + "".join(rows) + "</table>" + more)
+
+
+def _artifact_section(artifact: Dict[str, object]) -> str:
+    kernels = artifact.get("kernels", [])
+    metrics = artifact.get("metrics", {})
+    out: List[str] = []
+    out.append(f"<h2>{html.escape(str(artifact['workload']))} &middot; "
+               f"{html.escape(str(artifact['scheme']))}</h2>")
+    meta_bits = [f"cycles {artifact.get('cycles')}"]
+    if artifact.get("config_fingerprint"):
+        meta_bits.append(f"config {artifact['config_fingerprint']}")
+    if artifact.get("git_sha"):
+        meta_bits.append(f"git {str(artifact['git_sha'])[:12]}")
+    out.append(f"<p class='meta'>{' &middot; '.join(meta_bits)}</p>")
+    cells = []
+    for name in ("total_ipc", "weighted_speedup", "antt", "fairness",
+                 "lsu_stall_pct", "dram_row_hit_rate"):
+        value = metrics.get(name)
+        if value is not None:
+            cells.append(f"<th>{html.escape(name)}</th>")
+    row = []
+    for name in ("total_ipc", "weighted_speedup", "antt", "fairness",
+                 "lsu_stall_pct", "dram_row_hit_rate"):
+        value = metrics.get(name)
+        if value is not None:
+            row.append(f"<td>{float(value):.4f}</td>")
+    out.append("<table><tr>" + "".join(cells) + "</tr><tr>"
+               + "".join(row) + "</tr></table>")
+    shares = artifact.get("stall_shares")
+    if shares:
+        known = {reason: shares[reason]
+                 for reason in ("issued",) + SCHED_STALL_REASONS
+                 if reason in shares}
+        out.append("<h3>issue-slot mix</h3>")
+        out.append(_stacked_bar(known))
+        out.append(_stall_legend(known))
+    for record in artifact.get("phases", []):
+        out.append(_series_block(record, kernels))
+        out.append(_adapt_block(record, kernels))
+    return "".join(out)
+
+
+def render_dashboard(artifacts: Sequence[Dict[str, object]],
+                     title: str = "repro run dashboard") -> str:
+    """Full standalone HTML document for a set of artifacts."""
+    body = "".join(_artifact_section(artifact) for artifact in artifacts)
+    if not artifacts:
+        body = "<p>no artifacts found</p>"
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{html.escape(title)}</title>"
+            f"<style>{_CSS}</style></head><body>"
+            f"<h1>{html.escape(title)}</h1>{body}</body></html>")
+
+
+def write_dashboard(path: str, artifacts: Sequence[Dict[str, object]],
+                    title: Optional[str] = None) -> None:
+    doc = render_dashboard(artifacts, title or "repro run dashboard")
+    with open(path, "w") as fh:
+        fh.write(doc)

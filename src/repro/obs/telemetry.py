@@ -93,14 +93,27 @@ class CampaignTelemetry:
 
     def eta_s(self) -> Optional[float]:
         """Wall-clock estimate for the remaining jobs, from the mean
-        wall-clock pace so far.  ``None`` before the first heartbeat."""
+        wall-clock pace of *uncached* jobs so far.  Cache hits complete
+        instantly, so counting them in the pace (or dividing wall-clock
+        by a done-count dominated by hits, with elapsed ≈ 0) would
+        grossly understate the remaining time on a warm rerun.  ``None``
+        before the first heartbeat or until an uncached job has
+        finished."""
         done = self.jobs_done
         if not done or not self.heartbeats:
             return None
         total = self.heartbeats[-1].total
         remaining = max(0, total - done)
-        pace = self.elapsed_s() / done
-        return remaining * pace
+        if not remaining:
+            return 0.0
+        uncached = done - self._cache_hits
+        if not uncached:
+            # Only instant cache hits so far: no usable pace signal.
+            return None
+        elapsed = self.elapsed_s()
+        if elapsed <= 0:
+            return None
+        return remaining * (elapsed / uncached)
 
     # ------------------------------------------------------------------
     # rendering

@@ -185,6 +185,22 @@ class GPU:
         start = self.cycles_run
         end = start + max_cycles
         if self.reference:
+            obs = self.obs
+            if obs is not None and obs.sampler is not None:
+                # Sampled reference loop: identical simulation order,
+                # plus an end-of-cycle pull-based sample hook and the
+                # current-cycle gauge that timestamps the adaptation
+                # event log.  Nothing feeds back into the components,
+                # so results stay bit-identical to the plain loops.
+                sampler_tick = obs.sampler.on_cycle
+                for cycle in range(start, end):
+                    obs.cycle = cycle
+                    memory_tick(cycle)
+                    for sm_tick in sm_ticks:
+                        sm_tick(cycle)
+                    sampler_tick(cycle, self)
+                self.cycles_run = end
+                return self._collect()
             for cycle in range(start, end):
                 memory_tick(cycle)
                 for sm_tick in sm_ticks:

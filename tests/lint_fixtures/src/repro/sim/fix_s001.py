@@ -5,6 +5,8 @@ def bad_names(registry, sm_id):
     registry.counter("sm0 issue slots!")  # LINT-BAD: REPRO-S001
     registry.bump("sm0.issue.warp_jam", 1)  # LINT-BAD: REPRO-S001 (leaf)
     registry.gauge(f"sm{sm_id}..mil")  # LINT-BAD: REPRO-S001 (empty seg)
+    registry.set("phase.cadence", 256)  # LINT-BAD: REPRO-S001 (phase leaf)
+    registry.set("adapt.recomputes", 1)  # LINT-BAD: REPRO-S001 (adapt leaf)
 
 
 def good_names(registry, sm_id, reason):
@@ -12,6 +14,8 @@ def good_names(registry, sm_id, reason):
     registry.bump(f"sm{sm_id}.issue.scoreboard", 1)  # LINT-OK: taxonomy
     registry.bump(f"sm{sm_id}.stall.{reason}", 1)  # LINT-OK: dynamic leaf
     registry.scoped(f"sm{sm_id}.mil.k0")  # LINT-OK
+    registry.set("phase.interval", 256)  # LINT-OK: declared phase leaf
+    registry.set("adapt.mil_events", 1)  # LINT-OK: declared adapt leaf
 
 
 def trace_tracks_are_fine(trace, kernel):

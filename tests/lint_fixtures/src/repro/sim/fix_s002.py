@@ -6,8 +6,20 @@ def bad_reasons(table, sm, sched, k):
     table.bump_lsu(sm, k, reason="rsfail_tlb")  # LINT-BAD: REPRO-S002
 
 
+def bad_mechanisms(sampler, cycle, sm, k):
+    sampler.log_adapt("milx", cycle, sm, k, 2, 4)  # LINT-BAD: REPRO-S002
+    sampler.log_adapt(mechanism="dmil", cycle=cycle,  # LINT-BAD: REPRO-S002
+                      sm_id=sm, kernel=k, old=2, new=4)
+
+
 def good_reasons(table, sm, sched, k, reason):
     table.bump_sched(sm, sched, k, "scoreboard")  # LINT-OK: taxonomy member
     table.bump_sched(sm, sched, k, "issued")  # LINT-OK
     table.bump_lsu(sm, k, "rsfail_mshr")  # LINT-OK
     table.bump_lsu(sm, k, reason)  # LINT-OK: non-literal, constant upstream
+
+
+def good_mechanisms(sampler, cycle, sm, k, mechanism):
+    sampler.log_adapt("mil", cycle, sm, k, 2, 4)  # LINT-OK: declared
+    sampler.log_adapt("qbmi", cycle, sm, k, 8, 6)  # LINT-OK: declared
+    sampler.log_adapt(mechanism, cycle, sm, k, 2, 4)  # LINT-OK: non-literal

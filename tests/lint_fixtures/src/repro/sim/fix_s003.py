@@ -3,6 +3,8 @@
 STALL_SMK_GATE = "smk_gate"
 STALL_LSU_FULL = "lsu_full"
 STALL_OTHER = "other"
+ADAPT_MIL = "mil"
+ADAPT_QBMI = "qbmi"
 
 
 def open_chain(gated, full):
@@ -30,3 +32,20 @@ def unrelated_chain(a, b):
     elif b:
         mode = "slow"
     return mode
+
+
+def open_adapt_chain(from_limiter, from_quota):
+    mechanism = None
+    if from_limiter:  # LINT-BAD: REPRO-S003 (adaptation constants)
+        mechanism = ADAPT_MIL
+    elif from_quota:
+        mechanism = ADAPT_QBMI
+    return mechanism
+
+
+def closed_adapt_chain(from_limiter):
+    if from_limiter:  # LINT-OK: else residual present
+        mechanism = ADAPT_MIL
+    else:
+        mechanism = ADAPT_QBMI
+    return mechanism

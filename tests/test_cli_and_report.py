@@ -4,7 +4,7 @@ import pytest
 
 from repro.__main__ import main
 from repro.config import scaled_config
-from repro.harness.report import build_report, write_report
+from repro.harness.reporting import build_report, write_report
 from repro.harness.runner import ExperimentRunner, RunnerSettings
 
 TINY = RunnerSettings(iso_cycles=1000, curve_cycles=800,
