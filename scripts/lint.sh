@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Static analysis: ruff (style/imports) + the repro linter (simulator
-# invariants: determinism, sentinel hooks, stat hygiene, picklability).
+# invariants: determinism, sentinel hooks, stat hygiene, picklability)
+# in both per-file and whole-program (--project) modes.
 # Mirrors the CI `lint` job; run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,4 +11,8 @@ ruff check src tests scripts
 
 echo "== repro lint =="
 PYTHONPATH=src python -m repro lint src tests \
+    --baseline .repro-lint-baseline.json "$@"
+
+echo "== repro lint --project =="
+PYTHONPATH=src python -m repro lint src tests scripts --project \
     --baseline .repro-lint-baseline.json "$@"

@@ -42,10 +42,13 @@ Commands
     ``baseline`` block diffing the committed report; ``--check`` exits
     1 on a >10% geomean regression.
 ``lint [paths] [--format text|json|github] [--select IDS]
-[--baseline FILE] [--write-baseline] [--list-rules]``
+[--baseline FILE] [--write-baseline] [--list-rules] [--project]
+[--index-cache FILE] [--no-index-cache]``
     AST-based simulator-invariant linter (determinism, sentinel-hook
-    discipline, stat hygiene, picklability) — see
-    ``docs/LINT_RULES.md``.  Exits 1 on findings, 2 on usage errors.
+    discipline, stat hygiene, picklability); ``--project`` adds the
+    whole-program rules (event-wheel discipline, cross-process shared
+    state, taxonomy drift) over an incrementally cached project index —
+    see ``docs/LINT_RULES.md``.  Exits 1 on findings, 2 on usage errors.
 ``schemes``
     List the scheme names the harness understands.
 """
@@ -329,6 +332,9 @@ def cmd_lint(args) -> int:
         select=args.select,
         list_rules=args.list_rules,
         root=args.root,
+        project=args.project,
+        index_cache=args.index_cache,
+        no_index_cache=args.no_index_cache,
     )
 
 
@@ -455,8 +461,18 @@ def main(argv=None) -> int:
                       help="report format (github = Actions annotations)")
     lint.add_argument("--select", action="append", default=[],
                       metavar="IDS",
-                      help="comma-separated rule ids to run "
-                           "(e.g. REPRO-D001,O001); default: all")
+                      help="comma-separated rule ids or family prefixes "
+                           "to run (e.g. REPRO-D001,REPRO-W); default: all")
+    lint.add_argument("--project", action="store_true",
+                      help="whole-program mode: build the project index "
+                           "and run the interprocedural REPRO-W/R/S "
+                           "rules on top of the per-file rules")
+    lint.add_argument("--index-cache", metavar="FILE", default=None,
+                      help="project-index cache location (default: "
+                           ".repro_cache/lint-index.json under --root)")
+    lint.add_argument("--no-index-cache", action="store_true",
+                      help="rebuild the project index from scratch and "
+                           "do not write a cache")
     lint.add_argument("--baseline", metavar="FILE", default=None,
                       help="filter findings recorded in this baseline file")
     lint.add_argument("--write-baseline", action="store_true",

@@ -21,6 +21,7 @@ import os
 from typing import Dict, Iterable, List, Tuple
 
 from repro.lint.findings import Finding
+from repro.lint.scope import norm_rel_path
 
 BASELINE_VERSION = 1
 
@@ -78,7 +79,10 @@ class Baseline:
                 f"(expected {BASELINE_VERSION})")
         counts: Dict[_Key, int] = {}
         for entry in payload.get("entries", []):
-            key = (str(entry["rule"]), str(entry["path"]),
+            # entry paths are normalised through the shared scope helper
+            # so a baseline written on Windows matches the posix-style
+            # rel paths the engine stamps on findings.
+            key = (str(entry["rule"]), norm_rel_path(str(entry["path"])),
                    str(entry.get("snippet", "")))
             counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
         return cls(counts)

@@ -30,7 +30,12 @@ def _usage_error(message: str) -> int:
 
 
 def _select_rules(selectors: Sequence[str]) -> List[Rule]:
-    """Resolve ``--select`` values against the catalog (order kept)."""
+    """Resolve ``--select`` values against the catalog (order kept).
+
+    A selector is a full rule id (``REPRO-D001``, shorthand ``D001``)
+    or a family prefix (``REPRO-D``, shorthand ``D``, also ``REPRO-W0``)
+    selecting every rule whose id starts with it.  A selector matching
+    nothing raises ValueError (exit code 2)."""
     catalog = all_rules()
     by_id = rules_by_id(catalog)
     wanted = set()
@@ -43,11 +48,14 @@ def _select_rules(selectors: Sequence[str]) -> List[Rule]:
             if rid == "ALL":
                 wanted.update(by_id)
                 continue
-            if rid not in by_id:
+            matched = [known for known in by_id
+                       if known == rid or known.startswith(rid)]
+            if not matched:
                 known = ", ".join(sorted(by_id))
                 raise ValueError(
-                    f"unknown rule id {part!r} (known: {known})")
-            wanted.add(rid)
+                    f"unknown rule id or family prefix {part!r} "
+                    f"(known: {known})")
+            wanted.update(matched)
     return [rule for rule in catalog if rule.id in wanted]
 
 
@@ -74,8 +82,17 @@ def run_lint_command(paths: Sequence[str], fmt: str = "text",
                      write_baseline: bool = False,
                      select: Sequence[str] = (),
                      list_rules: bool = False,
-                     root: Optional[str] = None) -> int:
-    """Execute one lint run; returns the process exit code."""
+                     root: Optional[str] = None,
+                     project: bool = False,
+                     index_cache: Optional[str] = None,
+                     no_index_cache: bool = False) -> int:
+    """Execute one lint run; returns the process exit code.
+
+    ``project=True`` enables the whole-program phase (REPRO-W/R and the
+    cross-module REPRO-S rules) on top of the per-file rules, with an
+    incremental index cache at ``index_cache`` (default
+    ``.repro_cache/lint-index.json`` under the root; disable with
+    ``no_index_cache``)."""
     if list_rules:
         print(format_catalog(all_rules()))
         return 0
@@ -83,6 +100,9 @@ def run_lint_command(paths: Sequence[str], fmt: str = "text",
     if fmt not in FORMATS:
         return _usage_error(
             f"unknown format {fmt!r} (choose from {', '.join(FORMATS)})")
+
+    if index_cache and not project:
+        return _usage_error("--index-cache requires --project")
 
     try:
         rules = _select_rules(select) if select else all_rules()
@@ -96,7 +116,13 @@ def run_lint_command(paths: Sequence[str], fmt: str = "text",
         return _usage_error(str(exc))
 
     engine = LintEngine(root, rules=rules)
-    findings = engine.lint_paths(targets)
+    if project:
+        from repro.lint.project import default_cache_path
+        cache_path = None if no_index_cache \
+            else (index_cache or default_cache_path(root))
+        findings = engine.lint_project(targets, cache_path=cache_path)
+    else:
+        findings = engine.lint_paths(targets)
 
     if write_baseline:
         dest = baseline_path or os.path.join(root, ".repro-lint-baseline.json")

@@ -1,0 +1,208 @@
+"""REPRO-S004/S005 — registry/taxonomy drift (whole-program).
+
+The per-file stat rules (REPRO-S001/S002) can only judge *literals*
+against the taxonomy imported at lint time.  Two drift classes escape
+them: a reason spelled through a constant defined in another module
+(the per-file rule must skip non-literals), and the taxonomy modules
+themselves drifting (a membership tuple referencing a constant that no
+longer exists, or declaring a leaf twice).  These project rules close
+both holes by *proving the chain through the index*:
+
+* **REPRO-S004** — every non-literal ``bump_sched``/``bump_lsu`` reason
+  and ``log_adapt`` mechanism argument that resolves (cross-module,
+  through imports) to a string constant must resolve to a declared
+  taxonomy member.  Unresolvable arguments (parameters, computed
+  values) are skipped — the runtime exact-sum tests own those.
+* **REPRO-S005** — the declared taxonomy itself must be internally
+  consistent (membership-tuple elements resolve, no duplicate leaves),
+  and every literal registry leaf bumped under an ``issue.`` /
+  ``stall.`` / ``phase.`` / ``adapt.`` segment anywhere in the project
+  must be a declared leaf *of the indexed taxonomy source* — so
+  deleting a leaf from ``repro.obs.stalls`` immediately flags every
+  site still bumping it.
+
+Both rules read the taxonomy out of the indexed
+``repro.obs.stalls`` / ``repro.obs.timeline`` sources when those
+modules are part of the run (the cross-module proof), falling back to
+importing the real modules for partial runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.project import HOLE, ProjectIndex
+from repro.lint.rules import SRC_SCOPE, ProjectRule
+
+#: reason-call method -> taxonomy family label.
+_METHOD_FAMILY = {
+    "bump_sched": "scheduler stall",
+    "bump_lsu": "LSU stall",
+    "log_adapt": "adaptation mechanism",
+}
+
+
+class _Taxonomy:
+    """The declared stall/mechanism/leaf sets, plus where each
+    membership tuple lives (for reporting drift inside the taxonomy
+    modules themselves)."""
+
+    def __init__(self) -> None:
+        self.families: Dict[str, Set[str]] = {}
+        #: leaf segment -> allowed leaves (issue/stall/phase/adapt).
+        self.segment_leaves: Dict[str, Set[str]] = {}
+        #: (rel_path, tuple name, lineno, values-with-None-holes)
+        self.tuples: List[Tuple[str, str, int, List[Optional[str]]]] = []
+        self.from_index = False
+
+
+def _tuple_values(index: ProjectIndex, msum: dict, name: str,
+                  tax: _Taxonomy) -> List[str]:
+    values = index.resolve_tuple_values(msum, name)
+    if values is None:
+        return []
+    tax.tuples.append((msum["rel_path"], name,
+                       msum["tuple_constants"][name]["lineno"], values))
+    return [v for v in values if v is not None]
+
+
+def load_taxonomy(index: ProjectIndex) -> _Taxonomy:
+    tax = _Taxonomy()
+    stalls = index.module("repro.obs.stalls")
+    timeline = index.module("repro.obs.timeline")
+    if stalls is not None and timeline is not None:
+        tax.from_index = True
+        sched = set(_tuple_values(index, stalls,
+                                  "SCHED_STALL_REASONS", tax))
+        issued = stalls["str_constants"].get("ISSUED")
+        if issued is not None:
+            sched.add(issued)
+        lsu = set(_tuple_values(index, stalls, "LSU_STALL_REASONS", tax))
+        adapt = set(_tuple_values(index, timeline,
+                                  "ADAPT_MECHANISMS", tax))
+        phase_leaves = set(_tuple_values(index, timeline,
+                                         "PHASE_REGISTRY_LEAVES", tax))
+        adapt_leaves = set(_tuple_values(index, timeline,
+                                         "ADAPT_REGISTRY_LEAVES", tax))
+    else:
+        from repro.obs.stalls import (ISSUED, LSU_STALL_REASONS,
+                                      SCHED_STALL_REASONS)
+        from repro.obs.timeline import (ADAPT_MECHANISMS,
+                                        ADAPT_REGISTRY_LEAVES,
+                                        PHASE_REGISTRY_LEAVES)
+        sched = set(SCHED_STALL_REASONS) | {ISSUED}
+        lsu = set(LSU_STALL_REASONS)
+        adapt = set(ADAPT_MECHANISMS)
+        phase_leaves = set(PHASE_REGISTRY_LEAVES)
+        adapt_leaves = set(ADAPT_REGISTRY_LEAVES)
+    tax.families = {
+        "scheduler stall": sched,
+        "LSU stall": lsu,
+        "adaptation mechanism": adapt,
+    }
+    tax.segment_leaves = {
+        "issue": sched | lsu,
+        "stall": sched | lsu,
+        "phase": phase_leaves,
+        "adapt": adapt_leaves,
+    }
+    return tax
+
+
+class ReasonResolutionRule(ProjectRule):
+    """REPRO-S004: constant-valued reasons must resolve into the
+    taxonomy."""
+
+    id = "REPRO-S004"
+    name = "reason-resolution"
+    rationale = (
+        "The per-file stall-reason check must skip non-literal "
+        "arguments, so a constant defined in another module with an "
+        "off-taxonomy value sails through and silently breaks the "
+        "exact-sum invariant.  Resolving the constant chain through "
+        "the project index closes that hole.")
+    hint = ("make the constant's value a declared taxonomy member, or "
+            "add the new class to repro.obs.stalls / repro.obs.timeline "
+            "and its reports")
+    scope = SRC_SCOPE
+    bad = ('MY_REASON = "warp_jam"          # not in the taxonomy\n'
+           "table.bump_sched(sm, sched, k, MY_REASON)")
+    good = "table.bump_sched(sm, sched, k, STALL_SCOREBOARD)"
+
+    def check_project(self, project, reporter) -> None:
+        index = project.index
+        tax = load_taxonomy(index)
+        for rel, msum, fsum in index.functions():
+            for method, key, _value, lineno, col in fsum["reason_calls"]:
+                if key is None:
+                    continue  # literal: the per-file REPRO-S002 owns it
+                family = _METHOD_FAMILY[method]
+                resolved = index.resolve_str_constant(msum, key)
+                if resolved is None:
+                    continue  # parameter / computed: runtime tests own it
+                allowed = tax.families[family]
+                if resolved not in allowed:
+                    reporter.report(
+                        self, rel, lineno, col,
+                        f"{key} resolves to {resolved!r}, which is not "
+                        f"a declared {family} class "
+                        f"({', '.join(sorted(allowed))})")
+
+
+class TaxonomyDriftRule(ProjectRule):
+    """REPRO-S005: the declared taxonomy must be consistent and every
+    bumped leaf declared."""
+
+    id = "REPRO-S005"
+    name = "taxonomy-drift"
+    rationale = (
+        "The membership tuples in repro.obs.stalls / repro.obs.timeline "
+        "are the single source of truth for every exact-sum report; an "
+        "element that no longer resolves, a duplicated leaf, or a "
+        "registry bump of a leaf the taxonomy no longer declares all "
+        "mean the reports and the counters have drifted apart.")
+    hint = ("keep the membership tuples and the *_REGISTRY_LEAVES in "
+            "sync with the constants and every bump site")
+    scope = SRC_SCOPE
+    bad = ('SCHED_STALL_REASONS = (STALL_SCOREBOARD, STALL_GONE)'
+           "  # STALL_GONE deleted")
+    good = "SCHED_STALL_REASONS = (STALL_SCOREBOARD, ..., STALL_OTHER)"
+
+    def check_project(self, project, reporter) -> None:
+        index = project.index
+        tax = load_taxonomy(index)
+        # (a) internal consistency — only provable from indexed source
+        for rel, name, lineno, values in tax.tuples:
+            unresolved = sum(1 for v in values if v is None)
+            if unresolved:
+                reporter.report(
+                    self, rel, lineno, 0,
+                    f"{name} has {unresolved} element(s) that do not "
+                    f"resolve to a string constant — deleted or renamed "
+                    f"taxonomy constant?")
+            dupes = sorted({v for v in values
+                            if v is not None and values.count(v) > 1})
+            if dupes:
+                reporter.report(
+                    self, rel, lineno, 0,
+                    f"{name} declares duplicate leaves: "
+                    f"{', '.join(dupes)}")
+        # (b) every bumped literal leaf is declared
+        for rel, msum, fsum in index.functions():
+            for pattern, lineno, col in fsum["leaf_uses"]:
+                segments = pattern.split(".")
+                if len(segments) < 2 or HOLE in segments[-1]:
+                    continue
+                allowed = tax.segment_leaves.get(segments[-2])
+                if allowed is not None and segments[-1] not in allowed:
+                    source = ("indexed taxonomy source" if tax.from_index
+                              else "taxonomy")
+                    reporter.report(
+                        self, rel, lineno, col,
+                        f"leaf {segments[-1]!r} under {segments[-2]!r} "
+                        f"is not declared by the {source} — removed or "
+                        f"renamed leaf still being bumped")
+
+
+#: rules exported to the registry, catalog order.
+DRIFT_RULES: List[type] = [ReasonResolutionRule, TaxonomyDriftRule]

@@ -1,0 +1,219 @@
+"""REPRO-W0xx — event-wheel discipline (whole-program).
+
+The fast cycle loop leaps over quiescent stretches by asking the
+:class:`~repro.sim.wheel.EventWheel` for the next posted activity
+cycle.  The wheel's correctness contract says entries may be
+conservative but never *missing* — and the one latent bug the repo has
+shipped so far (the PR-4 DRAM-enqueue hazard) was exactly a missing
+entry: a mutation of leap-visible state with no matching
+``wheel.post(...)`` on the same call path, invisible to every
+single-file check because the mutation and the post lived in different
+functions.
+
+These rules make that bug class un-reintroducible:
+
+* **REPRO-W001** — every function that mutates leap-visible state (the
+  attributes/queue methods declared in ``sim/wheel.py``'s
+  ``LEAP_STATE_ATTRS`` / ``LEAP_QUEUE_METHODS`` registry) must
+  *discharge* the mutation: the function itself (or a transitive
+  callee) reaches a ``wheel.post(...)`` / ``next_activity`` recompute,
+  or every caller does.  Assigning a literal ``0`` or a bare function
+  parameter is exempt — those lowerings can only wake the engine
+  earlier, which the leap already tolerates.  Constructors are exempt
+  (the wheel does not exist before construction completes).
+* **REPRO-W002** — the registry itself must not drift: an entry in
+  ``LEAP_STATE_ATTRS`` / ``LEAP_QUEUE_METHODS`` that no indexed code
+  ever mutates/calls is stale and silently weakens W001's coverage
+  claim.  Active only when the wheel module is part of the index.
+
+Discharge is evaluated over the name-resolved call graph, which
+over-approximates callers — so W001 can demand a post from code that
+would never actually run, but it can never vouch for a mutation that
+lacks one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.lint.rules import SIM_SCOPE, ProjectRule
+
+#: functions whose leap-state mutations are construction-time
+#: (the engine cannot leap before the simulation object graph exists).
+_CONSTRUCTOR_NAMES = frozenset(("__init__", "__post_init__", "reset"))
+
+#: recursion cap for the all-callers induction (beyond this the rule
+#: gives up and reports — the conservative direction).
+_MAX_DEPTH = 16
+
+
+def _leap_registry(index):
+    """(state attrs, queue methods) with reasons — from the indexed
+    wheel module when present (so fixture trees can ship their own
+    registry), else from the real :mod:`repro.sim.wheel`."""
+    for msum in index.summaries.values():
+        dicts = msum["dict_constants"]
+        if "LEAP_STATE_ATTRS" in dicts and "LEAP_QUEUE_METHODS" in dicts:
+            return (msum, dicts["LEAP_STATE_ATTRS"],
+                    dicts["LEAP_QUEUE_METHODS"])
+    return None, None, None
+
+
+class WheelDisciplineRule(ProjectRule):
+    """REPRO-W001: leap-visible mutations must discharge a wheel post."""
+
+    id = "REPRO-W001"
+    name = "wheel-discipline"
+    rationale = (
+        "The cycle leap only consults the event wheel; a function that "
+        "moves a wake/service horizon or enqueues future memory work "
+        "without a wheel.post(...) reachable on the same call path "
+        "leaves the leap blind to that activity — the exact hazard "
+        "class behind the PR-4 DRAM-enqueue bug, and invisible to any "
+        "per-file check when mutation and post live in different "
+        "functions.")
+    hint = ("post the new horizon (wheel.post(cycle + 1) for enqueues: "
+            "next_after drops entries <= now), or discharge through the "
+            "caller that already posts; declare new leap-visible fields "
+            "in sim/wheel.py's registry")
+    scope = SIM_SCOPE
+    bad = ("def enqueue_idle(self, req):\n"
+           "    self.channel.enqueue(req)   # no wheel entry -> leap skips it")
+    good = ("def enqueue_idle(self, req, cycle):\n"
+            "    self.channel.enqueue(req)\n"
+            "    self.wheel.post(cycle + 1)")
+
+    def check_project(self, project, reporter) -> None:
+        graph = project.callgraph()
+        # posting-down: every function from which a wheel post is
+        # reachable through call edges.  Computed as the closure of the
+        # directly-posting set under "add every caller of a member"
+        # (caller -> member is a call edge, so the caller reaches the
+        # post through its callee).
+        posting: Set[str] = {
+            f for f, (_rel, _m, fsum) in graph.functions.items()
+            if fsum["posts_wheel"]}
+        frontier = list(posting)
+        while frontier:
+            f = frontier.pop()
+            for caller in graph.callers.get(f, ()):
+                if caller not in posting:
+                    posting.add(caller)
+                    frontier.append(caller)
+
+        discharged: Dict[str, bool] = {}
+
+        def src_callers(f: str) -> List[str]:
+            """Callers that are part of the shipped simulator.  Tests
+            and scripts call sim functions in isolation (no leap is
+            running around them), so they neither discharge a mutation
+            nor poison an otherwise-discharged one."""
+            return [c for c in graph.callers.get(f, ())
+                    if graph.functions[c][0].startswith("src/")]
+
+        def discharged_up(f: str, stack: Set[str], depth: int) -> bool:
+            """True when every execution of ``f`` sits under a wheel
+            post: ``f`` posts (transitively down), or every caller
+            does.  On-stack recursion is optimistic (a cycle whose
+            every entry point discharges is fine); unexplored depth is
+            pessimistic."""
+            if f in posting:
+                return True
+            memo = discharged.get(f)
+            if memo is not None:
+                return memo
+            if f in stack:
+                return True
+            if depth > _MAX_DEPTH:
+                return False
+            callers = src_callers(f)
+            if not callers:
+                discharged[f] = False
+                return False
+            stack.add(f)
+            ok = all(discharged_up(c, stack, depth + 1) for c in callers)
+            stack.discard(f)
+            discharged[f] = ok
+            return ok
+
+        wheel_msum, state_attrs, queue_methods = _leap_registry(project.index)
+        attr_reasons = {}
+        if wheel_msum is not None:
+            # reasons live as the dict values in the wheel source; the
+            # summary only keeps keys, so spell a generic reason.
+            attr_reasons = {k: "declared leap-visible"
+                           for k in state_attrs["keys"]}
+
+        for f, (rel, _msum, fsum) in sorted(graph.functions.items()):
+            if fsum["name"] in _CONSTRUCTOR_NAMES:
+                continue
+            sites = [(attr, lineno, col)
+                     for attr, lineno, col, vkind in fsum["leap_writes"]
+                     if vkind == "other"]
+            sites += [(f"{method}()", lineno, col)
+                      for method, lineno, col in fsum["queue_calls"]]
+            if not sites:
+                continue
+            if discharged_up(f, set(), 0):
+                continue
+            where = fsum["qualname"]
+            for attr, lineno, col in sites:
+                kind = ("leap-checked queue push"
+                        if attr.endswith("()") else
+                        attr_reasons.get(attr, "leap-visible horizon"))
+                reporter.report(
+                    self, rel, lineno, col,
+                    f"{where} mutates {attr} ({kind}) but no wheel.post/"
+                    f"next_activity recompute is reachable from it or "
+                    f"from every caller — the cycle leap can skip this "
+                    f"activity")
+
+
+class WheelRegistryDriftRule(ProjectRule):
+    """REPRO-W002: the leap-state registry must match reality."""
+
+    id = "REPRO-W002"
+    name = "wheel-registry-drift"
+    rationale = (
+        "REPRO-W001's coverage claim is only as good as the registry in "
+        "sim/wheel.py: a declared attribute or queue method that no "
+        "code ever touches means the registry has drifted from the "
+        "simulator (renamed field, removed queue), and the next real "
+        "leap-visible field may be missing from it.")
+    hint = ("remove the stale entry, or rename it to match the field "
+            "the simulator actually mutates")
+    scope = ()  # the wheel module itself may live anywhere in a fixture
+    bad = 'LEAP_STATE_ATTRS = {"busy_untill": "typo -> never matched"}'
+    good = 'LEAP_STATE_ATTRS = {"busy_until": "DRAM service horizon"}'
+
+    def check_project(self, project, reporter) -> None:
+        wheel_msum, state_attrs, queue_methods = _leap_registry(project.index)
+        if wheel_msum is None:
+            return  # wheel module not indexed (partial run): inert
+        mutated_attrs: Set[str] = set()
+        called_methods: Set[str] = set()
+        for _rel, _msum, fsum in project.index.functions():
+            for key, _kind, _lineno, _col in fsum["writes"]:
+                mutated_attrs.add(key.rsplit(".", 1)[-1])
+            for attr, _lineno, _col, _vkind in fsum["leap_writes"]:
+                mutated_attrs.add(attr)
+            for key, _lineno in fsum["calls"]:
+                if "." in key:
+                    called_methods.add(key.rsplit(".", 1)[-1])
+        rel = wheel_msum["rel_path"]
+        for attr in state_attrs["keys"]:
+            if attr not in mutated_attrs:
+                reporter.report(
+                    self, rel, state_attrs["lineno"], 0,
+                    f"LEAP_STATE_ATTRS declares {attr!r} but no indexed "
+                    f"code ever assigns it — stale registry entry")
+        for method in queue_methods["keys"]:
+            if method not in called_methods:
+                reporter.report(
+                    self, rel, queue_methods["lineno"], 0,
+                    f"LEAP_QUEUE_METHODS declares {method!r} but no "
+                    f"indexed code ever calls it — stale registry entry")
+
+
+#: rules exported to the registry, catalog order.
+WHEEL_RULES: List[type] = [WheelDisciplineRule, WheelRegistryDriftRule]

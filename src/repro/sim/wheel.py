@@ -41,6 +41,37 @@ from typing import Dict, List
 #: sentinel for "no posted event" (matches the scheduler's NEVER).
 NEVER = 1 << 62
 
+# ----------------------------------------------------------------------
+# Leap-visible state registry (consumed by the REPRO-W0xx lint family).
+#
+# These two tables are the machine-readable version of the correctness
+# contract above: they enumerate every attribute and queue-method whose
+# mutation can move a component's next-activity cycle.  The
+# whole-program linter (``repro lint --project``) proves that every
+# function which mutates one of these — directly or through a callee —
+# also reaches a ``wheel.post(...)`` on the same call path (or lowers
+# the horizon to ``0``/the current cycle, which can only wake the
+# engine *earlier* and is therefore always leap-safe).  Adding a new
+# leap-visible field?  Declare it here first; the linter then holds
+# every mutation site to the contract.
+
+#: attribute names whose assignment moves a wake/service horizon.
+LEAP_STATE_ATTRS: Dict[str, str] = {
+    "busy_until": "DRAM channel service-completion horizon",
+    "_sleep_until": "SM sleep horizon consulted by the engine leap",
+    "_next_wake": "scheduler wake hint lowered by load returns",
+    "_mem_wake": "scheduler pending-memory wake hint",
+}
+
+#: method names whose call enqueues future work on a leap-checked
+#: queue (DRAM / interconnect / memory event heap).
+LEAP_QUEUE_METHODS: Dict[str, str] = {
+    "enqueue": "DRAM channel queue push (service may start while idle)",
+    "enqueue_read": "DRAM read enqueue via the model",
+    "enqueue_write": "DRAM write enqueue via the model",
+    "_schedule": "memory subsystem event-heap push",
+}
+
 
 class EventWheel:
     """Min-indexed set of future activity cycles."""

@@ -1,0 +1,36 @@
+"""REPRO-R002 fixture: class-level mutable attribute written
+worker-side, read parent-side.
+
+``JobLog.records`` is shared through the class object, which every
+spawned worker re-creates — the worker's append mutates a per-process
+copy while ``summarize`` reads the parent's import-time empty list.
+``GoodLog`` keeps the container per-instance, which R002 ignores.
+"""
+
+
+class JobLog:
+    records = []
+
+    def add(self, rec):
+        self.records.append(rec)  # LINT-BAD: REPRO-R002
+
+
+class GoodLog:
+    def __init__(self):
+        self.records = []
+
+    def add(self, rec):
+        self.records.append(rec)  # LINT-OK: instance attribute
+
+
+def _worker_run(log, job):
+    log.add(job)
+
+
+def run_jobs(pool, log, jobs):
+    return [pool.submit(_worker_run, log, job) for job in jobs]
+
+
+def summarize():
+    # parent-side read through the class object.
+    return len(JobLog.records)

@@ -1,0 +1,7 @@
+"""Support constants for ``fix_s004`` — defined in a *different
+package* so the REPRO-S004 test proves cross-module resolution, the
+hole the per-file literal check (REPRO-S002) cannot close."""
+
+GOOD_REASON = "scoreboard"
+BAD_REASON = "warp_jam"
+BAD_MECHANISM = "milx"

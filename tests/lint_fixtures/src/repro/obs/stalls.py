@@ -1,0 +1,26 @@
+"""REPRO-S005 fixture: a *drifted* stand-in for ``repro.obs.stalls``.
+
+The project index resolves the taxonomy out of whatever module is
+indexed as ``repro.obs.stalls`` — this one, when the fixture tree is
+the lint root — so the drift below is provable cross-module:
+``STALL_EXEC_PORT`` was deleted but the membership tuple still names
+it, and the LSU tuple declares a leaf twice.
+"""
+
+ISSUED = "issued"
+STALL_SCOREBOARD = "scoreboard"
+STALL_NO_WARP = "no_warp"
+STALL_OTHER = "other"
+
+SCHED_STALL_REASONS = (  # LINT-BAD: REPRO-S005
+    STALL_SCOREBOARD,
+    STALL_NO_WARP,
+    STALL_EXEC_PORT,  # deleted constant: does not resolve
+    STALL_OTHER,
+)
+
+LSU_STALL_REASONS = (  # LINT-BAD: REPRO-S005
+    "rsfail_line",
+    "rsfail_mshr",
+    "rsfail_line",  # duplicate leaf
+)

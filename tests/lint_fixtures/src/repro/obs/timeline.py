@@ -1,0 +1,13 @@
+"""REPRO-S005 fixture: a stand-in for ``repro.obs.timeline`` whose
+registry-leaf declarations have *shrunk* relative to the code that
+bumps them (see ``fix_s005.py``): ``samples`` and ``qbmi_events`` are
+gone here although the real taxonomy still declares them — so the
+per-file REPRO-S001 check (which imports the real modules) stays
+quiet, and only the indexed-source proof catches the drift."""
+
+ADAPT_MIL = "mil"
+ADAPT_QBMI = "qbmi"
+
+ADAPT_MECHANISMS = (ADAPT_MIL, ADAPT_QBMI)
+PHASE_REGISTRY_LEAVES = ("interval",)
+ADAPT_REGISTRY_LEAVES = ("mil_events",)

@@ -1,0 +1,31 @@
+"""REPRO-S004 fixture: constant-valued stall reasons that resolve (or
+fail to resolve) into the taxonomy.
+
+Every reason here is a *name*, so the per-file REPRO-S002 literal
+check skips all of them; only the project index can chase the constant
+chain — including across modules — and judge the resolved value.
+"""
+
+from repro.obs.fix_s004_vals import BAD_MECHANISM, BAD_REASON, GOOD_REASON
+
+_LOCAL_BAD = "rsfail_teleport"
+_LOCAL_GOOD = "rsfail_mshr"
+
+
+def bad_cross_module(table, sm, sched, k):
+    table.bump_sched(sm, sched, k, BAD_REASON)  # LINT-BAD: REPRO-S004
+
+
+def bad_local_constant(table, sm, k):
+    table.bump_lsu(sm, k, _LOCAL_BAD)  # LINT-BAD: REPRO-S004
+
+
+def bad_mechanism(sampler, cycle, sm, k):
+    sampler.log_adapt(BAD_MECHANISM, cycle, sm, k, 2, 4)  # LINT-BAD: REPRO-S004
+
+
+def good_resolutions(table, sampler, sm, sched, k, reason, cycle):
+    table.bump_sched(sm, sched, k, GOOD_REASON)  # LINT-OK: resolves to member
+    table.bump_lsu(sm, k, _LOCAL_GOOD)  # LINT-OK: local constant, member
+    table.bump_lsu(sm, k, reason)  # LINT-OK: parameter, unresolvable
+    table.bump_sched(sm, sched, k, "scoreboard")  # LINT-OK: literal, S002 owns it

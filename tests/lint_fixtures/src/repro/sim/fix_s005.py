@@ -1,0 +1,18 @@
+"""REPRO-S005 fixture: registry bumps of leaves the *indexed* taxonomy
+(the drifted ``obs/stalls.py`` / ``obs/timeline.py`` stand-ins in this
+fixture tree) no longer declares.
+
+Every flagged leaf is still valid in the real taxonomy, so the
+per-file REPRO-S001 check passes — the finding only exists because the
+project rule judges bump sites against the taxonomy *source being
+linted*, which is exactly the deleted-leaf drift it guards against.
+"""
+
+
+def bump_paths(reg, sm_id, reason):
+    reg.bump(f"sm{sm_id}.phase.samples")  # LINT-BAD: REPRO-S005
+    reg.bump(f"sm{sm_id}.stall.rsfail_missq")  # LINT-BAD: REPRO-S005
+    reg.counter("adapt.qbmi_events")  # LINT-BAD: REPRO-S005
+    reg.counter(f"sm{sm_id}.phase.interval")  # LINT-OK: still declared
+    reg.bump(f"sm{sm_id}.stall.rsfail_mshr")  # LINT-OK: still declared
+    reg.bump(f"sm{sm_id}.stall.{reason}")  # LINT-OK: interpolated leaf

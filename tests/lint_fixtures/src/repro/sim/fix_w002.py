@@ -1,0 +1,28 @@
+"""REPRO-W002 fixture: a drifted leap-state registry.
+
+This module plays the role of ``repro.sim.wheel`` for the project
+index (it declares both registry dicts), with one stale entry in each:
+``busy_untill`` is a typo no code ever assigns, ``enqueue_teleport``
+names a queue method no code ever calls.  The live entries are kept
+live by the constructor-exempt code below.
+"""
+
+LEAP_STATE_ATTRS = {  # LINT-BAD: REPRO-W002
+    "busy_until": "DRAM service horizon",
+    "busy_untill": "typo: never assigned anywhere",
+}
+
+LEAP_QUEUE_METHODS = {  # LINT-BAD: REPRO-W002
+    "enqueue_read": "DRAM read queue push",
+    "enqueue_teleport": "removed queue: never called anywhere",
+}
+
+
+class _Channel:
+    def __init__(self, queue, first_req):
+        # constructor-time queue push: keeps enqueue_read "called"
+        # without owing REPRO-W001 a wheel post (wheel not live yet).
+        queue.enqueue_read(first_req)  # LINT-OK: constructor
+
+    def reset(self, cycle):
+        self.busy_until = cycle + 1  # LINT-OK: constructor-exempt

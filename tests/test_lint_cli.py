@@ -74,14 +74,81 @@ def test_select_accepts_shorthand_and_lists(capsys):
     capsys.readouterr()
 
 
+def test_select_accepts_family_prefixes(capsys):
+    # REPRO-D matches all four determinism rules; fix_d001 still flags.
+    code = run(["src/repro/sim/fix_d001.py", "--root", FIXROOT,
+                "--select", "REPRO-D"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REPRO-D001" in out
+
+    # a family prefix excluding the violated rule reports nothing
+    code = run(["src/repro/sim/fix_d001.py", "--root", FIXROOT,
+                "--select", "REPRO-S,REPRO-O"])
+    assert code == 0
+    capsys.readouterr()
+
+
+def test_unknown_family_prefix_exits_2(capsys):
+    code = run(["src", "--root", REPO_ROOT, "--select", "REPRO-X"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "family prefix" in err
+    assert "REPRO-W001" in err  # the known-rule list names every rule
+
+
 def test_list_rules_prints_catalog(capsys):
     assert run(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rid in ("REPRO-D001", "REPRO-D002", "REPRO-D003", "REPRO-D004",
                 "REPRO-O001", "REPRO-S001", "REPRO-S002", "REPRO-S003",
-                "REPRO-P001"):
+                "REPRO-S004", "REPRO-S005", "REPRO-P001", "REPRO-W001",
+                "REPRO-W002", "REPRO-R001", "REPRO-R002"):
         assert rid in out
     assert "bad:" in out and "good:" in out
+
+
+# ----------------------------------------------------------------------
+# project mode
+def test_project_mode_flags_whole_program_findings(capsys):
+    code = run(["src/repro/sim/fix_w001.py", "--root", FIXROOT,
+                "--project", "--no-index-cache"])
+    assert code == 1
+    assert "REPRO-W001" in capsys.readouterr().out
+
+
+def test_project_mode_whole_repo_clean(capsys):
+    code = run(["src", "tests", "scripts", "--root", REPO_ROOT,
+                "--project", "--no-index-cache"])
+    assert code == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_project_mode_select_by_family(capsys):
+    code = run(["src/repro/sim/fix_w001.py", "--root", FIXROOT,
+                "--project", "--no-index-cache",
+                "--select", "REPRO-R"])
+    assert code == 0
+    capsys.readouterr()
+
+
+def test_project_index_cache_flag(tmp_path, capsys):
+    cache = str(tmp_path / "index.json")
+    code = run(["src/repro/sim/fix_w001.py", "--root", FIXROOT,
+                "--project", "--index-cache", cache])
+    assert code == 1
+    assert os.path.exists(cache)
+    # warm run: same findings, served through the cache
+    code = run(["src/repro/sim/fix_w001.py", "--root", FIXROOT,
+                "--project", "--index-cache", cache])
+    assert code == 1
+    capsys.readouterr()
+
+
+def test_index_cache_without_project_exits_2(capsys):
+    code = run(["src", "--root", REPO_ROOT, "--index-cache", "x.json"])
+    assert code == 2
+    assert "--project" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@ tests pin the equivalence claims that make that safe:
 from repro.config import scaled_config
 from repro.mem.cache import AccessResult
 from repro.mem.subsystem import MemRequest, MemorySubsystem
-from repro.sim.wheel import NEVER
+from repro.sim.wheel import NEVER, EventWheel
 
 
 class FakeMemInst:
@@ -154,6 +154,44 @@ class TestLeapLandsOnEvent:
                              leap=True)
         assert len(ref) == 1
         assert fast == ref
+
+
+class TestWheelPostAtCurrentCycle:
+    """The `next_after` stale-drop edge: entries at or before `now` are
+    discarded, so a post *at the current cycle* is invisible to the
+    leap evaluated that same cycle.  This is why every mutator posts
+    `cycle + 1` (the REPRO-W001 hint) — the engine finishes ticking
+    `cycle` unconditionally, and the wheel only needs to name the
+    *next* cycle anything can happen."""
+
+    def test_post_at_now_is_stale_by_contract(self):
+        wheel = EventWheel()
+        wheel.post(10)
+        assert wheel.next_after(10) == NEVER
+
+    def test_repost_of_a_drained_cycle_is_not_deduped_away(self):
+        # Draining must clear the dedup index: a later re-post of the
+        # same cycle value has to re-enter the heap, or the activity it
+        # announces would be silently skipped.
+        wheel = EventWheel()
+        wheel.post(10)
+        assert wheel.next_after(10) == NEVER  # drains the entry
+        wheel.post(10)
+        assert wheel.next_after(9) == 10
+        assert len(wheel) == 1
+
+    def test_post_during_drain_is_not_skipped_by_the_leap(self):
+        # Engine at cycle 5 with a far-future entry: work enqueued
+        # *during* the cycle-5 tick posts its wake as 5 + 1, and the
+        # leap evaluated after the tick must land there, not at 40.
+        wheel = EventWheel()
+        wheel.post(5)
+        wheel.post(40)
+        assert wheel.next_after(5) == 40  # the cycle-5 entry is stale
+        wheel.post(6)  # mutation during the tick pins cycle + 1
+        assert wheel.next_after(5) == 6
+        # the far entry survives the bounded leap
+        assert wheel.next_after(6) == 40
 
 
 class TestQuiescentDuringDramFlight:
