@@ -62,9 +62,18 @@ CYCLE_LOOP_WORKLOADS: Tuple[Tuple[str, Tuple[str, ...],
                                   Optional[Tuple[int, ...]]], ...] = (
     ("bp-iso", ("bp",), None),
     ("cd-iso", ("cd",), None),
+    ("sv-iso", ("sv",), None),
     ("bp+cd-even", ("bp", "cd"), (8, 8)),
+    ("st+sv-even", ("st", "sv"), (8, 8)),
+    ("cd+sv-even", ("cd", "sv"), (8, 8)),
 )
 REFERENCE_WORKLOAD = "bp+cd-even"
+
+#: the paper's M-type (memory-intensive) workloads in the suite above —
+#: the set the memory-pipeline perf work is gated on.  The baseline
+#: diff block reports a separate geomean over exactly these.
+MEMORY_BOUND_WORKLOADS = frozenset(
+    ("cd-iso", "sv-iso", "st+sv-even", "cd+sv-even"))
 
 
 # ----------------------------------------------------------------------
@@ -152,19 +161,52 @@ def _load_baseline(path: str) -> Optional[Dict]:
         return None
 
 
+def _resolve_baseline_sha(path: str, baseline: Optional[Dict]
+                          ) -> Tuple[Optional[str], Optional[str]]:
+    """The commit a committed baseline's numbers came from, plus where
+    that answer was found.
+
+    Prefers the ``git_sha`` the report recorded at generation time;
+    reports written outside a work tree carry ``null``, so fall back to
+    the last commit that touched the committed file.  Returns
+    ``(sha, source)`` with source ``"report"`` or ``"git-log"``, or
+    ``(None, None)`` when neither resolves."""
+    if not baseline:
+        return None, None
+    sha = baseline.get("git_sha")
+    if sha:
+        return sha, "report"
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        proc = subprocess.run(
+            ["git", "log", "-1", "--format=%H", "--",
+             os.path.basename(path)],
+            capture_output=True, text=True, timeout=10, cwd=directory)
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+    sha = proc.stdout.strip()
+    if proc.returncode == 0 and sha:
+        return sha, "git-log"
+    return None, None
+
+
 def _cycle_loop_baseline(workloads: List[Dict],
-                         baseline: Optional[Dict]) -> Optional[Dict]:
+                         baseline: Optional[Dict],
+                         baseline_path: str) -> Optional[Dict]:
     """Diff fresh fast-loop throughput against the committed report.
 
     The committed numbers are wall-clock on whichever host produced
     them, so the block records the ratio per workload plus the geomean
     — the regression gate ``scripts/bench.sh --check`` keys off
-    ``regressed``."""
+    ``regressed``.  Memory-bound workloads (the paper's M-type set)
+    additionally get their own geomean so memory-pipeline perf work can
+    be gated independently of compute-bound legs."""
     if not baseline:
         return None
     by_name = {w.get("workload"): w for w in baseline.get("workloads", ())}
     per_workload = {}
     ratios = []
+    mem_ratios = []
     for w in workloads:
         base = by_name.get(w["workload"])
         if not base or not base.get("fast_cycles_per_s"):
@@ -176,27 +218,36 @@ def _cycle_loop_baseline(workloads: List[Dict],
             "ratio": ratio,
         }
         ratios.append(ratio)
+        if w["workload"] in MEMORY_BOUND_WORKLOADS:
+            mem_ratios.append(ratio)
     if not ratios:
         return None
     geomean = _geomean(ratios)
+    sha, sha_source = _resolve_baseline_sha(baseline_path, baseline)
     return {
-        "baseline_git_sha": baseline.get("git_sha"),
+        "baseline_git_sha": sha,
+        "baseline_git_sha_source": sha_source,
         "baseline_geomean_speedup": baseline.get("geomean_speedup"),
         "per_workload": per_workload,
         "geomean_vs_baseline": geomean,
+        "memory_bound_geomean_vs_baseline":
+            _geomean(mem_ratios) if mem_ratios else None,
         "regression_threshold": REGRESSION_THRESHOLD,
         "regressed": geomean < REGRESSION_THRESHOLD,
     }
 
 
 def _campaign_baseline(report: Dict,
-                       baseline: Optional[Dict]) -> Optional[Dict]:
+                       baseline: Optional[Dict],
+                       baseline_path: str) -> Optional[Dict]:
     """Diff the three campaign speedup layers against the committed
     report (speedups are within-run ratios, so they transfer across
     hosts better than raw wall times)."""
     if not baseline:
         return None
-    block: Dict = {"baseline_git_sha": baseline.get("git_sha")}
+    sha, sha_source = _resolve_baseline_sha(baseline_path, baseline)
+    block: Dict = {"baseline_git_sha": sha,
+                   "baseline_git_sha_source": sha_source}
     ratios = {}
     for key in ("fast_loop_speedup", "parallel_speedup", "campaign_speedup"):
         base = baseline.get(key)
@@ -275,6 +326,7 @@ def bench_cycle_loop(cycles: int = 2500, reps: int = 2,
             "kernels": list(kernels),
             "tb_limits": list(tb_limits) if tb_limits else None,
             "cycles": cycles,
+            "memory_bound": name in MEMORY_BOUND_WORKLOADS,
             "reference_s": ref_best,
             "fast_s": fast_best,
             "reference_cycles_per_s": cycles / ref_best,
@@ -300,9 +352,11 @@ def bench_cycle_loop(cycles: int = 2500, reps: int = 2,
         "geomean_speedup": _geomean(speedups),
     }
     # Diff against the committed report *before* overwriting it.
-    committed = _load_baseline(_root_path(CYCLE_LOOP_REPORT))
-    report["baseline"] = _cycle_loop_baseline(workloads, committed)
-    _write_report(report, out_path or _root_path(CYCLE_LOOP_REPORT))
+    committed_path = _root_path(CYCLE_LOOP_REPORT)
+    committed = _load_baseline(committed_path)
+    report["baseline"] = _cycle_loop_baseline(workloads, committed,
+                                              committed_path)
+    _write_report(report, out_path or committed_path)
     return report
 
 
@@ -395,9 +449,11 @@ def bench_campaign(workers: int = 4,
         "campaign_speedup": ref_s / par_s,
         "identical": True,
     }
-    committed = _load_baseline(_root_path(CAMPAIGN_REPORT))
-    report["baseline"] = _campaign_baseline(report, committed)
-    _write_report(report, out_path or _root_path(CAMPAIGN_REPORT))
+    committed_path = _root_path(CAMPAIGN_REPORT)
+    committed = _load_baseline(committed_path)
+    report["baseline"] = _campaign_baseline(report, committed,
+                                            committed_path)
+    _write_report(report, out_path or committed_path)
     return report
 
 
