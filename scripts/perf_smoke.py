@@ -1,28 +1,49 @@
 """CI perf smoke: a seconds-long slice of the cycle-loop benchmark.
 
-Runs two workloads on the scaled-down config and asserts the two
-properties that must hold on any machine, however noisy:
+Runs three workloads on the scaled-down config — two compute-leaning
+plus one memory-bound (``st+sv-even``, exercising the slot-pooled
+memory path end to end) — and asserts the properties that must hold
+on any machine, however noisy:
 
 * the fast loop is bit-identical to the reference loop (this is the
-  real gate — ``bench_cycle_loop`` raises on divergence);
+  real gate — ``bench_cycle_loop`` raises on divergence; the fast leg
+  runs the pooled memory path, so this also pins pooled == reference);
 * the fast loop is at least as fast as the reference loop (a sanity
   floor far below the committed >=1.5x threshold, which only the
-  manually-dispatched full perf job enforces).
+  manually-dispatched full perf job enforces);
+* on the memory-bound leg, the pooled and object substrates of the
+  fast loop agree bit for bit (``GPU(pooled=...)`` both ways).
 """
 
 import sys
 
 from repro.config import scaled_config
-from repro.harness.perfbench import bench_cycle_loop
+from repro.core.arbiter import SchemeConfig
+from repro.harness.perfbench import bench_cycle_loop, result_signature
+from repro.sim.engine import GPU, make_launches
+from repro.workloads.profiles import get_profile
+
+
+def pooled_identity_check(config) -> bool:
+    """Fast-loop object path vs fast-loop pooled path on the
+    memory-bound mix: one run each, signatures must match."""
+    signatures = []
+    for pooled in (False, True):
+        profiles = [get_profile("st"), get_profile("sv")]
+        launches = make_launches(profiles, [4, 4], config, seed=3)
+        gpu = GPU(config, launches, SchemeConfig(), pooled=pooled)
+        signatures.append(result_signature(gpu.run(2000)))
+    return signatures[0] == signatures[1]
 
 
 def main() -> int:
+    config = scaled_config()
     report = bench_cycle_loop(
         cycles=2000,
         reps=2,
-        config=scaled_config(),
+        config=config,
         out_path="perf_smoke.json",
-        workload_names=["bp-iso", "cd-iso"],
+        workload_names=["bp-iso", "cd-iso", "st+sv-even"],
     )
     for workload in report["workloads"]:
         name = workload["workload"]
@@ -30,11 +51,17 @@ def main() -> int:
             print(f"FAIL {name}: fast loop diverged from reference")
             return 1
         speedup = workload["speedup"]
-        print(f"ok {name}: identical, fast/reference = {speedup:.2f}x")
+        kind = "memory-bound, " if workload["memory_bound"] else ""
+        print(f"ok {name}: {kind}identical, "
+              f"fast/reference = {speedup:.2f}x")
         if speedup < 1.0:
             print(f"FAIL {name}: fast loop slower than reference "
                   f"({speedup:.2f}x)")
             return 1
+    if not pooled_identity_check(config):
+        print("FAIL st+sv: pooled memory path diverged from object path")
+        return 1
+    print("ok st+sv: pooled == object on the fast loop")
     return 0
 
 

@@ -35,7 +35,7 @@ Commands
     deltas, stall-mix shifts, geomean total-IPC ratio.  With
     ``--check``, exit 1 when the geomean drops more than PCT percent
     (default 2) — the simulated-metric regression gate for CI.
-``bench [--which cycle-loop|campaign|all] [--workers N] [--reps N]
+``bench [--which cycle-loop|memory-path|campaign|all] [--workers N] [--reps N]
 [--workloads A,B] [--out PATH] [--check]``
     Wall-clock perf benchmarks; writes ``BENCH_*.json`` at the root
     (or ``--out``).  Reports carry ``git_sha``, host info and a
@@ -279,7 +279,8 @@ def cmd_compare(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.harness.perfbench import bench_campaign, bench_cycle_loop
+    from repro.harness.perfbench import (bench_campaign, bench_cycle_loop,
+                                         bench_memory_path)
     regressed = False
     if args.which in ("cycle-loop", "all"):
         workload_names = (args.workloads.split(",")
@@ -297,6 +298,21 @@ def cmd_bench(args) -> int:
               f"(min {report['min_speedup']:.2f}x, "
               f"geomean {report['geomean_speedup']:.2f}x) "
               f"-> {out}")
+        baseline = report.get("baseline")
+        if baseline is not None:
+            print(f"  vs committed baseline: "
+                  f"{baseline['geomean_vs_baseline']:.2f}x geomean"
+                  + (" [REGRESSED]" if baseline["regressed"] else ""))
+            regressed = regressed or baseline["regressed"]
+    if args.which in ("memory-path", "all"):
+        report = bench_memory_path(reps=max(args.reps, 3),
+                                   out_path=args.out
+                                   if args.which == "memory-path" else None)
+        parts = ", ".join(f"{c['component']} {c['speedup']:.2f}x"
+                          for c in report["components"])
+        print(f"memory path: {parts} "
+              f"(geomean {report['geomean_speedup']:.2f}x) "
+              f"-> BENCH_memory_path.json")
         baseline = report.get("baseline")
         if baseline is not None:
             print(f"  vs committed baseline: "
@@ -440,7 +456,8 @@ def main(argv=None) -> int:
 
     bench = sub.add_parser("bench")
     bench.add_argument("--which", default="all",
-                       choices=["cycle-loop", "campaign", "all"])
+                       choices=["cycle-loop", "memory-path", "campaign",
+                                "all"])
     bench.add_argument("--workers", type=int, default=4)
     bench.add_argument("--reps", type=int, default=2,
                        help="timing repetitions per workload (best-of)")

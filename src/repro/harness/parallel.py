@@ -258,10 +258,56 @@ def _job_cycles(runner: ExperimentRunner, job: Job) -> int:
 
 
 # ----------------------------------------------------------------------
+# ledger-informed job ordering
+def job_cost_key(job: Job) -> Optional[Tuple[str, str]]:
+    """The ledger ``(workload, scheme)`` key a job's cost hint lives
+    under, or None for job types the ledger does not record."""
+    if isinstance(job, MixJob):
+        return "+".join(job.kernels), job.scheme
+    return None
+
+
+def ledger_cost_hints(artifacts_path: str) -> Dict[Tuple[str, str], float]:
+    """Per-cell expected-cost hints from a prior campaign's run
+    artifacts: ``(workload, scheme) -> cost``.
+
+    Cost is the artifact's simulated-cycle budget scaled by its
+    measured activity (``1 + total_ipc``) — a deterministic wall-clock
+    proxy that needs no timing fields: a cell simulating more cycles,
+    or doing more work per cycle, takes a worker longer.  Missing or
+    unreadable artifacts simply yield no hint.
+    """
+    from repro.obs import ledger
+    hints: Dict[Tuple[str, str], float] = {}
+    for key, artifact in ledger.load_artifacts(artifacts_path).items():
+        cycles = artifact.get("cycles") or 0
+        metrics = artifact.get("metrics") or {}
+        ipc = metrics.get("total_ipc") or 0.0
+        hints[key] = float(cycles) * (1.0 + float(ipc))
+    return hints
+
+
+def _order_by_cost(pending: List[Job],
+                   cost_hints: Dict[Tuple[str, str], float]) -> List[Job]:
+    """Longest-expected-first (LPT) dispatch order.  A long cell
+    dispatched last leaves the pool tail-bound on one worker; front-
+    loading the expensive cells packs the workers tighter.  The sort is
+    stable with unknown-cost jobs at 0, so unhinted batches keep their
+    input order exactly — and results are returned in input order
+    regardless (ordering only moves dispatch)."""
+    indexed = list(enumerate(pending))
+    indexed.sort(key=lambda pair: (
+        -cost_hints.get(job_cost_key(pair[1]) or ("", ""), 0.0), pair[0]))
+    return [job for _i, job in indexed]
+
+
+# ----------------------------------------------------------------------
 # batch execution
 def run_jobs(runner: ExperimentRunner, jobs: Sequence[Job],
              workers: Optional[int] = None, chunksize: int = 1,
-             progress: Optional[ProgressFn] = None) -> List:
+             progress: Optional[ProgressFn] = None,
+             cost_hints: Optional[Dict[Tuple[str, str], float]] = None
+             ) -> List:
     """Execute ``jobs`` and return their results in input order.
 
     Identical jobs are executed once.  ``IsoJob`` / ``CurveJob``
@@ -275,6 +321,10 @@ def run_jobs(runner: ExperimentRunner, jobs: Sequence[Job],
     ``progress`` receives one :class:`JobHeartbeat` per finished unique
     job, in completion order, from the dispatching thread; results are
     unaffected by its presence.
+
+    ``cost_hints`` (see :func:`ledger_cost_hints`) reorders the
+    *dispatch* of uncached jobs longest-expected-first; the returned
+    list stays in input order, bit-identical with or without hints.
     """
     pool_cfg = PoolConfig(workers=workers, chunksize=chunksize)
     unique: List[Job] = list(dict.fromkeys(jobs))
@@ -299,6 +349,8 @@ def run_jobs(runner: ExperimentRunner, jobs: Sequence[Job],
                     index=done, total=total, label=_job_label(job),
                     duration_s=0.0, sim_cycles=_job_cycles(runner, job),
                     cache_hit=True))
+    if cost_hints and len(pending) > 1:
+        pending = _order_by_cost(list(pending), cost_hints)
     # Cap the pool at the machine's CPU count: extra processes beyond
     # that cannot run concurrently, so oversubscribing only adds spawn,
     # pickle, and scheduling overhead to a CPU-bound campaign.
@@ -407,15 +459,22 @@ def run_campaign(runner: ExperimentRunner, mixes: Sequence[WorkloadMix],
     ``artifacts_dir`` makes the parent emit one run-artifact JSON per
     cell (plus the ``ledger.json`` index) after all workers return —
     workers only ship picklable reports back, the ledger write happens
-    in exactly one process.
+    in exactly one process.  When the directory already holds artifacts
+    from a prior campaign, their per-cell costs order this one's
+    dispatch longest-first (:func:`ledger_cost_hints`) — results are
+    unaffected, only worker packing.
     """
     run_jobs(runner, prefetch_jobs(mixes, schemes), workers=workers,
              chunksize=chunksize, progress=progress)
+    cost_hints = None
+    if artifacts_dir and os.path.isdir(artifacts_dir):
+        cost_hints = ledger_cost_hints(artifacts_dir)
     outcomes = run_jobs(
         runner,
         campaign_jobs(mixes, schemes, cycles, obs=obs,
                       phase_interval=phase_interval),
-        workers=workers, chunksize=chunksize, progress=progress)
+        workers=workers, chunksize=chunksize, progress=progress,
+        cost_hints=cost_hints)
     if artifacts_dir:
         from repro.obs import ledger
         sha = ledger.current_git_sha()

@@ -10,6 +10,13 @@ JSON report at the repository root:
   workload at a time, single thread.  Every rep asserts the two loops
   produce bit-identical :class:`~repro.sim.stats.RunResult` stats.
 
+* :func:`bench_memory_path` (``BENCH_memory_path.json``) storms the
+  memory-pipeline components in isolation — tag store, MSHR file and
+  DRAM channel queue — driving each object implementation and its
+  struct-of-arrays twin (:mod:`repro.mem.pool`, the slot-pooled
+  request path) through identical deterministic operation sequences.
+  Each storm asserts end-state equality before reporting ops/sec.
+
 * :func:`bench_campaign` (``BENCH_campaign.json``) times a full
   experiment campaign — the paper's scheme-ablation grid (WS, WS+BMI,
   WS+MIL, WS+BMI+MIL over two mixes, §4) including Warped-Slicer
@@ -45,6 +52,7 @@ from repro.workloads.profiles import get_profile
 
 #: file names (written at the repo root by default).
 CYCLE_LOOP_REPORT = "BENCH_cycle_loop.json"
+MEMORY_PATH_REPORT = "BENCH_memory_path.json"
 CAMPAIGN_REPORT = "BENCH_campaign.json"
 
 #: the campaign the wall-clock benchmark times: the paper's §4
@@ -356,6 +364,255 @@ def bench_cycle_loop(cycles: int = 2500, reps: int = 2,
     committed = _load_baseline(committed_path)
     report["baseline"] = _cycle_loop_baseline(workloads, committed,
                                               committed_path)
+    _write_report(report, out_path or committed_path)
+    return report
+
+
+# ----------------------------------------------------------------------
+# memory-path component microbenchmarks
+def _lcg_ops(n: int, seed: int, modulus: int) -> List[int]:
+    """Deterministic pseudo-random op stream (multiplicative LCG);
+    precomputed so sequence generation never lands inside a timed
+    region."""
+    ops = []
+    state = seed or 1
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        ops.append(state % modulus)
+    return ops
+
+
+def _tag_storm_object(store, fill_gap: int, ops: Sequence[int]) -> Tuple:
+    """One tag-store storm at the object store's native API: the L1
+    access pattern — lookup, LRU touch on hit, reserve on miss, fill
+    the reservation ``fill_gap`` ops later, periodic invalidate.
+    :func:`_tag_storm_array` is the structurally identical twin; both
+    stay native so the measured delta is the data structure, not an
+    adapter shim."""
+    hits = misses = 0
+    outstanding: List[int] = []
+    for i, line in enumerate(ops):
+        ln = store.lookup(line)
+        if ln is not None:
+            if ln.valid:
+                hits += 1
+            continue
+        ok, _dirty, _tag = store.reserve(line, kernel=line & 1)
+        if ok:
+            misses += 1
+            outstanding.append(line)
+        if len(outstanding) >= fill_gap:
+            store.fill(outstanding.pop(0))
+        if i % 97 == 0 and outstanding:
+            store.invalidate(ops[i % len(ops)])
+    for line in outstanding:
+        store.fill(line)
+    occupancy = tuple(sorted(store.occupancy_by_kernel().items()))
+    return hits, misses, occupancy
+
+
+def _tag_storm_array(store, fill_gap: int, ops: Sequence[int]) -> Tuple:
+    hits = misses = 0
+    outstanding: List[int] = []
+    valid = store.valid
+    find = store.find
+    touch = store.touch
+    for i, line in enumerate(ops):
+        way = find(line)
+        if way >= 0:
+            if valid[way]:
+                touch(way)
+                hits += 1
+            continue
+        ok, _dirty, _tag = store.reserve(line, kernel=line & 1)
+        if ok:
+            misses += 1
+            outstanding.append(line)
+        if len(outstanding) >= fill_gap:
+            store.fill(outstanding.pop(0))
+        if i % 97 == 0 and outstanding:
+            store.invalidate(ops[i % len(ops)])
+    for line in outstanding:
+        store.fill(line)
+    occupancy = tuple(sorted(store.occupancy_by_kernel().items()))
+    return hits, misses, occupancy
+
+
+def _mshr_storm(file, release_waiters, ops: Sequence[int]) -> Tuple:
+    """Allocate/merge/release churn at the MSHR file's native API.
+    ``release_waiters`` adapts the one API-surface difference (entry
+    object vs live list)."""
+    merges = allocs = waiter_total = 0
+    outstanding: List[int] = []
+    for i, line in enumerate(ops):
+        if file.try_merge(line, waiter=i):
+            merges += 1
+        elif line not in outstanding and file.can_allocate():
+            file.allocate(line, kernel=line & 1, waiter=i)
+            outstanding.append(line)
+            allocs += 1
+        if file.full or (outstanding and i % 5 == 0):
+            waiter_total += len(release_waiters(file, outstanding.pop(0)))
+    for line in outstanding:
+        waiter_total += len(release_waiters(file, line))
+    return merges, allocs, waiter_total, file.peak_used
+
+
+def _dram_storm(channel, push, pending, ops: Sequence[int]) -> Tuple:
+    """Enqueue/tick churn at the DRAM channel's native API (``push``
+    adapts ``enqueue`` vs ``ring_push``; ``pending`` the queue-depth
+    probe)."""
+    done: List[int] = []
+    cycle = 0
+    for i, row in enumerate(ops):
+        while channel.full:
+            cycle += 1
+            channel.tick(cycle, lambda payload, t: done.append(payload))
+        push(channel, row & 7, (row & 8) == 8, i)
+        cycle += 1
+        channel.tick(cycle, lambda payload, t: done.append(payload))
+    while pending(channel):
+        cycle += 1
+        channel.tick(cycle, lambda payload, t: done.append(payload))
+    return (channel.serviced, channel.row_hits, channel.busy_until,
+            len(done), sum(done))
+
+
+def _time_storm(run, reps: int) -> Tuple[float, Tuple]:
+    best = float("inf")
+    digest = None
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        result = run()
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+        assert digest is None or result == digest, \
+            "storm is not deterministic"
+        digest = result
+    return best, digest
+
+
+def _memory_path_baseline(components: List[Dict],
+                          baseline: Optional[Dict],
+                          baseline_path: str) -> Optional[Dict]:
+    """Diff fresh pooled-twin throughput against the committed report
+    (same shape as the cycle-loop baseline block, keyed by
+    component)."""
+    if not baseline:
+        return None
+    by_name = {c.get("component"): c
+               for c in baseline.get("components", ())}
+    per_component = {}
+    ratios = []
+    for comp in components:
+        base = by_name.get(comp["component"])
+        if not base or not base.get("pooled_ops_per_s"):
+            continue
+        ratio = comp["pooled_ops_per_s"] / base["pooled_ops_per_s"]
+        per_component[comp["component"]] = {
+            "baseline_pooled_ops_per_s": base["pooled_ops_per_s"],
+            "pooled_ops_per_s": comp["pooled_ops_per_s"],
+            "ratio": ratio,
+        }
+        ratios.append(ratio)
+    if not ratios:
+        return None
+    geomean = _geomean(ratios)
+    sha, sha_source = _resolve_baseline_sha(baseline_path, baseline)
+    return {
+        "baseline_git_sha": sha,
+        "baseline_git_sha_source": sha_source,
+        "per_component": per_component,
+        "geomean_vs_baseline": geomean,
+        "regression_threshold": REGRESSION_THRESHOLD,
+        "regressed": geomean < REGRESSION_THRESHOLD,
+    }
+
+
+def bench_memory_path(ops: int = 200_000, reps: int = 3,
+                      out_path: Optional[str] = None) -> Dict:
+    """Object vs struct-of-arrays throughput, component by component.
+
+    Each storm drives both implementations through the same
+    deterministic operation sequence at their native APIs and asserts
+    the end-state digests match before any number is reported — the
+    microbenchmark carries its own bit-identity proof, like the
+    cycle-loop benchmark does.
+    """
+    from repro.config import CacheConfig
+    from repro.mem.cache import SetAssocCache
+    from repro.mem.dram import DRAMChannel, RingDRAMChannel
+    from repro.mem.mshr import MSHRFile
+    from repro.mem.pool import ArrayMSHRFile, ArrayTagStore
+
+    cache_cfg = CacheConfig(size_bytes=16384, line_size=128, assoc=8,
+                            mshrs=16, miss_queue=16)
+    gpu_cfg = GPUConfig()
+    # The L1 hit path dominates the simulator's per-access cost, so the
+    # tag storm is hit-heavy: 3 in 4 accesses land in a hot working set
+    # that fits the cache, the rest stream through a cold tail.
+    tag_ops = [(op & 127) if op % 4 else (128 + op % 8192)
+               for op in _lcg_ops(ops, seed=11, modulus=1 << 30)]
+    mshr_ops = _lcg_ops(ops, seed=23, modulus=64)
+    dram_ops = _lcg_ops(ops // 4, seed=37, modulus=256)
+
+    components = []
+
+    def record(name: str, obj_run, pool_run, n_ops: int) -> None:
+        obj_s, obj_digest = _time_storm(obj_run, reps)
+        pool_s, pool_digest = _time_storm(pool_run, reps)
+        assert pool_digest == obj_digest, \
+            f"{name}: pooled twin diverged from the object implementation"
+        components.append({
+            "component": name,
+            "ops": n_ops,
+            "object_s": obj_s,
+            "pooled_s": pool_s,
+            "object_ops_per_s": n_ops / obj_s,
+            "pooled_ops_per_s": n_ops / pool_s,
+            "speedup": obj_s / pool_s,
+            "identical": True,
+        })
+
+    record(
+        "tag-store",
+        lambda: _tag_storm_object(SetAssocCache(cache_cfg), 8, tag_ops),
+        lambda: _tag_storm_array(ArrayTagStore(cache_cfg), 8, tag_ops),
+        len(tag_ops))
+    record(
+        "mshr-file",
+        lambda: _mshr_storm(MSHRFile(16, merge_limit=8),
+                            lambda f, ln: f.release(ln).waiters, mshr_ops),
+        lambda: _mshr_storm(ArrayMSHRFile(16, merge_limit=8),
+                            lambda f, ln: f.release(ln), mshr_ops),
+        len(mshr_ops))
+    record(
+        "dram-channel",
+        lambda: _dram_storm(
+            DRAMChannel(gpu_cfg, capacity=32),
+            lambda ch, row, wr, payload: ch.enqueue(row, wr, payload),
+            lambda ch: len(ch.queue), dram_ops),
+        lambda: _dram_storm(
+            RingDRAMChannel(gpu_cfg, capacity=32),
+            lambda ch, row, wr, payload: ch.ring_push(row, wr, payload),
+            lambda ch: ch.size(), dram_ops),
+        len(dram_ops))
+
+    speedups = [c["speedup"] for c in components]
+    report = {
+        "benchmark": "memory_path",
+        "git_sha": _git_sha(),
+        "host": _host_info(),
+        "cpu_count": os.cpu_count(),
+        "reps": reps,
+        "components": components,
+        "min_speedup": min(speedups),
+        "geomean_speedup": _geomean(speedups),
+    }
+    committed_path = _root_path(MEMORY_PATH_REPORT)
+    committed = _load_baseline(committed_path)
+    report["baseline"] = _memory_path_baseline(components, committed,
+                                               committed_path)
     _write_report(report, out_path or committed_path)
     return report
 

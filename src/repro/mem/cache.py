@@ -330,3 +330,118 @@ class L1DCache:
         self.tags.fill(line_addr)
         entry = self.mshrs.release(line_addr)
         return entry.waiters
+
+
+class PooledL1DCache:
+    """Allocation-free twin of :class:`L1DCache` for the pooled memory
+    path: an :class:`~repro.mem.pool.ArrayTagStore` tag store, an
+    :class:`~repro.mem.pool.ArrayMSHRFile`, and a miss queue of
+    :class:`~repro.mem.pool.RequestPool` slot ids.
+
+    ``access_slot`` is ``L1DCache.access`` with the request fields
+    passed as scalars (the LSU already holds them) — every stats bump,
+    LRU touch and resource check happens in the same order, so the two
+    controllers are bit-identical (asserted per benchmark run and
+    fuzzed in tests/test_pooled_identity.py).
+    """
+
+    __slots__ = ("config", "pool", "tags", "mshrs", "miss_queue", "stats",
+                 "version", "_mq_pending", "_miss_queue_cap")
+
+    def __init__(self, config: CacheConfig, pool, mq_pending=None):
+        # Imported here: repro.mem.pool imports nothing from this
+        # module's consumers, but keeping cache.py's import graph
+        # object-path-only preserves the reference path's independence.
+        from repro.mem.pool import ArrayMSHRFile, ArrayTagStore
+        self.config = config
+        self.pool = pool
+        self.tags = ArrayTagStore(config)
+        self.mshrs = ArrayMSHRFile(config.mshrs, config.mshr_merge)
+        self.miss_queue: Deque[int] = deque()
+        self.stats = CacheStats()
+        #: same replay-memo contract as :attr:`L1DCache.version`.
+        self.version = 0
+        #: shared one-cell counter of queued miss entries across all
+        #: L1s (owned by the pooled subsystem; gives its idle check and
+        #: leap gate an O(1) "any miss queue non-empty" answer).
+        self._mq_pending = mq_pending if mq_pending is not None else [0]
+        self._miss_queue_cap = config.miss_queue
+
+    @property
+    def miss_queue_full(self) -> bool:
+        return len(self.miss_queue) >= self._miss_queue_cap
+
+    def access_slot(self, slot: int, line_addr: int, kernel: int,
+                    is_write: bool, bypass: bool) -> str:
+        """``L1DCache.access`` over a pool slot; same result labels,
+        same stats/LRU mutation order, reservation failures leave all
+        state untouched."""
+        stats = self.stats
+        miss_queue = self.miss_queue
+
+        if bypass and not is_write:
+            if len(miss_queue) >= self._miss_queue_cap:
+                stats.rsfails[kernel] += 1
+                stats.rsfail_reasons[AccessResult.RSFAIL_MISSQ] += 1
+                return AccessResult.RSFAIL_MISSQ
+            stats.bypasses[kernel] += 1
+            miss_queue.append(slot)
+            self._mq_pending[0] += 1
+            return AccessResult.MISS
+
+        if is_write:
+            if len(miss_queue) >= self._miss_queue_cap:
+                stats.rsfails[kernel] += 1
+                stats.rsfail_reasons[AccessResult.RSFAIL_MISSQ] += 1
+                return AccessResult.RSFAIL_MISSQ
+            stats.writes[kernel] += 1
+            self.tags.invalidate(line_addr)
+            miss_queue.append(slot)
+            self._mq_pending[0] += 1
+            return AccessResult.MISS
+
+        stats.accesses[kernel] += 1
+        tags = self.tags
+        way = tags.find(line_addr)
+        if way >= 0:
+            if tags.valid[way]:
+                tags.touch(way)  # the lookup's LRU bump
+                stats.hits[kernel] += 1
+                return AccessResult.HIT
+            # Secondary miss (reserved line): merge into the MSHR.
+            if not self.mshrs.try_merge(line_addr, slot):
+                stats.accesses[kernel] -= 1
+                stats.rsfails[kernel] += 1
+                stats.rsfail_reasons[AccessResult.RSFAIL_MERGE] += 1
+                return AccessResult.RSFAIL_MERGE
+            stats.misses[kernel] += 1
+            return AccessResult.MISS_MERGED
+
+        # Primary miss: need line slot + MSHR + miss-queue entry.
+        failure = None
+        if not self.mshrs.can_allocate():
+            failure = AccessResult.RSFAIL_MSHR
+        elif len(miss_queue) >= self._miss_queue_cap:
+            failure = AccessResult.RSFAIL_MISSQ
+        if failure is None:
+            ok, _, _ = tags.reserve(line_addr, kernel)
+            if not ok:
+                failure = AccessResult.RSFAIL_LINE
+        if failure is not None:
+            stats.accesses[kernel] -= 1
+            stats.rsfails[kernel] += 1
+            stats.rsfail_reasons[failure] += 1
+            return failure
+
+        self.mshrs.allocate(line_addr, kernel, slot)
+        miss_queue.append(slot)
+        self._mq_pending[0] += 1
+        stats.misses[kernel] += 1
+        return AccessResult.MISS
+
+    def fill(self, line_addr: int) -> List[int]:
+        """A fill returned from L2: returns the waiting slot ids (the
+        recycled list is valid until the MSHR entry is re-allocated)."""
+        self.version += 1
+        self.tags.fill(line_addr)
+        return self.mshrs.release(line_addr)

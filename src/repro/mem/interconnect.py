@@ -22,10 +22,19 @@ class Interconnect:
 
     def __init__(self, config: GPUConfig):
         self.latency = config.icnt_latency
-        self.rate = float(config.icnt_flits_per_cycle)
+        rate = float(config.icnt_flits_per_cycle)
         # Allow short bursts: a full line transfer can be buffered even
         # when the per-cycle rate is below the line cost.
-        self.burst_cap = max(self.rate * 4, self.line_flits(config) * 2.0)
+        burst_cap = max(rate * 4, self.line_flits(config) * 2.0)
+        # Integral rates (every committed config) run the buckets on
+        # ints: int arithmetic is faster than float on the hot path and
+        # bit-identical here, since floats represent these small
+        # integers exactly (all values stay far below 2**53).
+        if rate.is_integer() and burst_cap.is_integer():
+            rate = int(rate)
+            burst_cap = int(burst_cap)
+        self.rate = rate
+        self.burst_cap = burst_cap
         self._req_tokens = self.burst_cap
         self._rsp_tokens = self.burst_cap
         self.req_flits_sent = 0

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.config import GPUConfig
 from repro.core.arbiter import SchemeConfig
-from repro.mem.subsystem import MemorySubsystem
+from repro.mem.subsystem import MemorySubsystem, PooledMemorySubsystem
 from repro.obs.collector import ObsLike, resolve_obs
 from repro.sim.sm import StreamingMultiprocessor
 from repro.sim.stats import KernelStats, RunResult, TimelineRecorder
@@ -109,13 +109,21 @@ class GPU:
     :class:`~repro.obs.Observability`).  Observed runs use the
     reference per-cycle loop so stall attribution is exact — simulated
     results stay bit-identical to an unobserved run.
+
+    ``pooled`` selects the struct-of-arrays memory path (slot-pooled
+    requests, array-backed L1D/MSHR tag stores, ring DRAM queues).
+    Default (None): follow the loop mode — pooled on the fast loop,
+    the reference object path on the reference loop — overridable via
+    ``REPRO_POOLED_MEM=1``/``0``.  Both paths are bit-identical; the
+    perf suite and tests/test_pooled_identity.py assert it.
     """
 
     def __init__(self, config: GPUConfig, launches: List[KernelLaunch],
                  scheme: Optional[SchemeConfig] = None,
                  timeline_interval: Optional[int] = None,
                  reference: Optional[bool] = None,
-                 obs: ObsLike = None):
+                 obs: ObsLike = None,
+                 pooled: Optional[bool] = None):
         if not launches:
             raise ValueError("need at least one kernel launch")
         self.obs = resolve_obs(obs)
@@ -127,6 +135,13 @@ class GPU:
         if reference is None:
             reference = os.environ.get("REPRO_REFERENCE_LOOP", "") == "1"
         self.reference = reference
+        if pooled is None:
+            env = os.environ.get("REPRO_POOLED_MEM", "")
+            if env in ("0", "1"):
+                pooled = env == "1"
+            else:
+                pooled = not reference
+        self.pooled = pooled
         self.config = config
         self.launches = launches
         self.scheme = scheme or SchemeConfig()
@@ -135,8 +150,9 @@ class GPU:
         #: amortised O(1) query instead of a scan over schedulers, SMs,
         #: the event heap and the DRAM channels.
         self.wheel = EventWheel()
-        self.memory = MemorySubsystem(config, fastpath=not reference,
-                                      obs=self.obs, wheel=self.wheel)
+        mem_cls = PooledMemorySubsystem if pooled else MemorySubsystem
+        self.memory = mem_cls(config, fastpath=not reference,
+                              obs=self.obs, wheel=self.wheel)
         self.timeline = (TimelineRecorder(timeline_interval)
                          if timeline_interval else None)
         self.kernel_stats: Dict[int, KernelStats] = {
@@ -152,7 +168,8 @@ class GPU:
             self.sms.append(StreamingMultiprocessor(
                 sm_id, config, l1, launches, bundle,
                 self.kernel_stats, self.timeline, fastpath=not reference,
-                obs=self.obs, wheel=self.wheel))
+                obs=self.obs, wheel=self.wheel,
+                pool=self.memory.pool if pooled else None))
         self.cycles_run = 0
         if self.obs is not None:
             self.obs.attach(self)

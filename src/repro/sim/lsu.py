@@ -34,7 +34,8 @@ class LoadStoreUnit:
     __slots__ = ("sm_id", "l1", "queue_depth", "width", "queue",
                  "_current_request", "_stall_memo", "use_stall_memo",
                  "_stall_owed", "stall_cycles", "busy_cycles",
-                 "bypass_by_kernel", "_obs")
+                 "bypass_by_kernel", "_obs", "pool", "_inline_stats",
+                 "_defer_ok")
 
     def __init__(self, sm_id: int, l1: L1DCache, queue_depth: int = LSU_QUEUE_DEPTH,
                  width: int = 2):
@@ -46,14 +47,17 @@ class LoadStoreUnit:
         self.width = width
         self.queue: Deque[MemInst] = deque()
         self._current_request: Optional[MemRequest] = None
-        #: (request, l1.version, l1.tags.partition, result) of the last
-        #: reservation failure.  While the head request, the cache
-        #: version, and the partition object are all unchanged, a replay
-        #: must fail identically — every RSFAIL path in ``L1DCache
-        #: .access`` is pure apart from its two stats bumps — so the
-        #: lookup can be skipped and only the stats replayed.  Fast
-        #: loop only: the reference loop keeps the plain replay the
-        #: memo is validated against (the SM clears the flag).
+        #: (request-or-slot, l1.version, l1.tags.partition, result,
+        #: kernel) of the last reservation failure.  While the head
+        #: request, the cache version, and the partition object are all
+        #: unchanged, a replay must fail identically — every RSFAIL
+        #: path in ``L1DCache.access`` is pure apart from its two stats
+        #: bumps — so the lookup can be skipped and only the stats
+        #: replayed.  Fast loop only: the reference loop keeps the
+        #: plain replay the memo is validated against (the SM clears
+        #: the flag).  On the pooled path the first field is the pool
+        #: slot id; slot ids are stable while the request stalls (the
+        #: memo is cleared before the slot can be recycled).
         self._stall_memo = None
         self.use_stall_memo = True
         #: replayed-stall cycles whose stats bumps are deferred (memo
@@ -71,6 +75,16 @@ class LoadStoreUnit:
         self.bypass_by_kernel = None
         #: observability collector (set by the owning SM; None = off).
         self._obs = None
+        #: the shared :class:`~repro.mem.pool.RequestPool` when the SM
+        #: runs the pooled memory path (``l1`` is then a
+        #: ``PooledL1DCache``); None keeps the object path.
+        self.pool = None
+        #: pooled-path per-run constants resolved by the owning SM:
+        #: the kernel-stats dict when the per-request SM hook reduces
+        #: to one stats bump (else None), and whether stall replays may
+        #: defer their stats (no obs, inert hooks).
+        self._inline_stats = None
+        self._defer_ok = False
 
     def can_accept(self) -> bool:
         return len(self.queue) < self.queue_depth
@@ -86,9 +100,10 @@ class LoadStoreUnit:
             return
         self._stall_owed = 0
         memo = self._stall_memo
-        request, _, _, result = memo
+        result = memo[3]
+        kernel = memo[4]
         stats = self.l1.stats
-        stats.rsfails[request.kernel] += owed
+        stats.rsfails[kernel] += owed
         stats.rsfail_reasons[result] += owed
         self.stall_cycles += owed
 
@@ -103,6 +118,8 @@ class LoadStoreUnit:
         A reservation failure stalls the pipeline for the rest of the
         cycle (one failure counted per stalled cycle, as a hardware
         replay would)."""
+        if self.pool is not None:
+            return self._tick_pooled(cycle, sm)
         queue = self.queue
         if not queue:
             return
@@ -174,7 +191,8 @@ class LoadStoreUnit:
                 # Memory pipeline stall: replay the request next cycle.
                 if self.use_stall_memo:
                     self._stall_memo = (request, l1.version,
-                                        l1.tags.partition, result)
+                                        l1.tags.partition, result,
+                                        request.kernel)
                 self.stall_cycles += 1
                 sm.on_rsfail(request.kernel, cycle)
                 if obs is not None:
@@ -199,6 +217,121 @@ class LoadStoreUnit:
                 on_request_issued(request, result, cycle)
             if obs is not None:
                 obs.mem_request_l1(request, result, cycle)
+            if next_idx >= len(inst.lines):
+                queue.popleft()
+                if not (inst._completed or inst.pending):
+                    inst._completed = True
+                    inst.on_complete(inst, cycle)
+        if busy:
+            self.busy_cycles += 1
+
+    def _tick_pooled(self, cycle: int, sm) -> None:
+        """:meth:`tick` on the struct-of-arrays path: requests are pool
+        slots, the head request's scalars ride in ``_current_request``
+        as ``(slot, line, kernel, is_store, bypass)``, and the L1 is a
+        :class:`~repro.mem.cache.PooledL1DCache`.  Control flow, stats
+        order, the stall memo and the deferral trick mirror the object
+        path exactly (bit-identity is asserted in the perf suite and
+        tests/test_pooled_identity.py)."""
+        queue = self.queue
+        if not queue:
+            return
+        l1 = self.l1
+        memo = self._stall_memo
+        if memo is not None:
+            # Stalled-head fast-out: in a long memory-pipeline stall
+            # this is the per-cycle common case, so the deferral check
+            # runs before any of the loop bindings below.
+            current = self._current_request
+            if (current is not None and memo[0] == current[0]
+                    and self._defer_ok and memo[1] == l1.version
+                    and memo[2] is l1.tags.partition):
+                self._stall_owed += 1
+                return
+        pool = self.pool
+        access_slot = l1.access_slot
+        rsfails = _RSFAILS
+        hit = AccessResult.HIT
+        bypass_map = self.bypass_by_kernel
+        obs = self._obs
+        # Same inert-hook stats inlining as the object path, resolved
+        # once per run by the owning SM instead of per tick.
+        kernel_stats = self._inline_stats
+        busy = False
+        current = self._current_request
+        for _ in range(self.width):
+            if not queue:
+                break
+            inst = queue[0]
+            if current is None:
+                is_store = inst.is_store
+                if is_store:
+                    bypass = False
+                elif bypass_map is not None:
+                    bypass = bypass_map[inst.kernel]
+                else:
+                    bypass = sm.bundle.bypasses_l1d(inst.kernel)
+                line = inst.lines[inst.next_idx]
+                kernel = inst.kernel
+                slot = pool.alloc(line, kernel, self.sm_id, is_store,
+                                  None if is_store else inst, cycle, bypass)
+                current = (slot, line, kernel, is_store, bypass)
+                self._current_request = current
+                if obs is not None:
+                    obs.mem_request_created(pool.view(slot), cycle)
+            else:
+                slot, line, kernel, is_store, bypass = current
+
+            memo = self._stall_memo
+            if memo is not None:
+                if (memo[0] == slot and memo[1] == l1.version
+                        and memo[2] is l1.tags.partition):
+                    # Same replay-verdict memo as the object path; the
+                    # slot id substitutes for the request identity (it
+                    # cannot be recycled while the stall holds it).
+                    if self._defer_ok:
+                        self._stall_owed += 1
+                        return
+                    result = memo[3]
+                    stats = l1.stats
+                    stats.rsfails[kernel] += 1
+                    stats.rsfail_reasons[result] += 1
+                else:
+                    if self._stall_owed:
+                        self._flush_stall_debt()
+                    result = access_slot(slot, line, kernel, is_store,
+                                         bypass)
+            else:
+                result = access_slot(slot, line, kernel, is_store, bypass)
+            if result in rsfails:
+                # Memory pipeline stall: replay the request next cycle.
+                if self.use_stall_memo:
+                    self._stall_memo = (slot, l1.version,
+                                        l1.tags.partition, result, kernel)
+                self.stall_cycles += 1
+                sm.on_rsfail(kernel, cycle)
+                if obs is not None:
+                    obs.lsu_rsfail(self.sm_id, kernel, result, cycle)
+                return
+
+            busy = True
+            self._stall_memo = None
+            self._current_request = None
+            current = None
+            next_idx = inst.next_idx + 1
+            inst.next_idx = next_idx
+            if not is_store and result in _MISSES:
+                inst.pending += 1
+            if kernel_stats is not None:
+                kernel_stats[kernel].mem_requests += 1
+            else:
+                sm.on_request_issued_values(kernel, line, is_store, result,
+                                            cycle)
+            if obs is not None:
+                obs.mem_request_l1(pool.view(slot), result, cycle)
+            if result is hit:
+                # A hit's lifetime ends here: the slot never travels.
+                pool.free(slot)
             if next_idx >= len(inst.lines):
                 queue.popleft()
                 if not (inst._completed or inst.pending):

@@ -63,7 +63,7 @@ class StreamingMultiprocessor:
                  launches: List, bundle: SchemeBundle,
                  kernel_stats: Dict[int, KernelStats],
                  timeline: Optional[TimelineRecorder] = None,
-                 fastpath: bool = True, obs=None, wheel=None):
+                 fastpath: bool = True, obs=None, wheel=None, pool=None):
         self.sm_id = sm_id
         self.config = config
         self.l1 = l1
@@ -85,6 +85,13 @@ class StreamingMultiprocessor:
 
         self.lsu = LoadStoreUnit(sm_id, l1, width=config.lsu_width)
         self.lsu._obs = obs
+        # Shared request pool: selects the LSU's struct-of-arrays tick
+        # (``l1`` is then a PooledL1DCache).  None keeps the object path.
+        self.lsu.pool = pool
+        # Bind the resolved tick implementation once — the per-cycle
+        # call in tick() then skips the pool dispatch check.
+        self._lsu_tick = (self.lsu._tick_pooled if pool is not None
+                          else self.lsu.tick)
         # The stall-replay memo is a fast-loop trick; the reference
         # loop stays the plain implementation the memo is validated
         # against (bit-identity is asserted in tests/test_fastpath.py).
@@ -158,6 +165,13 @@ class StreamingMultiprocessor:
             and pol_cls.note_request is MemIssuePolicy.note_request
             and bundle.ucp is None
         )
+        # Everything the pooled LSU tick's per-call checks depend on
+        # (hook inertness, timeline, obs) is fixed for the run:
+        # resolve them into the LSU once instead of per cycle.
+        self.lsu._inline_stats = (
+            kernel_stats
+            if self._mem_hooks_inert and timeline is None else None)
+        self.lsu._defer_ok = obs is None and self._mem_hooks_inert
         #: the baseline policy's pick is pure "first proposer wins":
         #: skip the candidate-list build and the dispatch entirely.
         self._pick_trivial = pol_cls.pick is UnmanagedIssue.pick
@@ -544,7 +558,7 @@ class StreamingMultiprocessor:
 
         if self._obs is not None:
             self._obs_account(self._obs, cycle)
-        self.lsu.tick(cycle, self)
+        self._lsu_tick(cycle, self)
 
         if gate is not None:
             resident = [k for k, st in self.kstate.items() if st.resident_warps]
@@ -759,13 +773,22 @@ class StreamingMultiprocessor:
             wheel.post(self._last_tick + 1)
 
     def on_request_issued(self, request, result: str, cycle: int) -> None:
-        k = request.kernel
+        self.on_request_issued_values(request.kernel, request.line,
+                                      request.is_write, result, cycle)
+
+    def on_request_issued_values(self, kernel: int, line: int,
+                                 is_write: bool, result: str,
+                                 cycle: int) -> None:
+        """:meth:`on_request_issued` over scalars — the pooled LSU path
+        already holds the request fields unpacked, so no request object
+        (or slot view) needs materialising per issue."""
+        k = kernel
         if not self._mem_hooks_inert:
             state = self.kstate[k]
             self.bundle.limiter.note_request(k, state.inflight_minsts)
             self.bundle.mem_policy.note_request(k)
-            if self.bundle.ucp is not None and not request.is_write:
-                self.bundle.ucp.observe(k, request.line)
+            if self.bundle.ucp is not None and not is_write:
+                self.bundle.ucp.observe(k, line)
         self.kernel_stats[k].mem_requests += 1
         if self.timeline is not None:
             self.timeline.bump("l1d_access", k, cycle)

@@ -28,16 +28,14 @@ def coalesce(byte_addresses: Sequence[int], line_size: int = 128) -> List[int]:
     """
     if line_size < 1:
         raise ValueError("line_size must be positive")
-    seen = set()
-    lines: List[int] = []
+    # An insertion-ordered dict is both the dedup set and the ordered
+    # result — one structure, no per-line membership + append pair.
+    lines: dict = {}
     for addr in byte_addresses:
         if addr < 0:
             raise ValueError("byte addresses must be non-negative")
-        line = addr // line_size
-        if line not in seen:
-            seen.add(line)
-            lines.append(line)
-    return lines
+        lines[addr // line_size] = None
+    return list(lines)
 
 
 def coalescing_degree(byte_addresses: Sequence[int],

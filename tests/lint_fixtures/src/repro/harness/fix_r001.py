@@ -40,3 +40,24 @@ def collect_results():
     # parent-side read: sees the import-time empty list, never the
     # workers' appends.
     return list(_RESULTS)
+
+
+# A module-level slot ledger in the request-pool idiom: the pooled
+# memory path keeps per-run pools *inside* the GPU object, but a
+# tempting "optimization" is a module-global ledger shared across
+# campaign jobs — worker-side writes to it are invisible parent-side.
+_SLOT_LEDGER = []
+
+
+def _pool_worker(job):
+    _SLOT_LEDGER.append(job)  # LINT-BAD: REPRO-R001
+    return job * 2
+
+
+def run_pool_campaign(pool, jobs):
+    return [pool.submit(_pool_worker, job) for job in jobs]
+
+
+def pool_slots_seen():
+    # parent-side read of the worker-written ledger: import-time empty.
+    return list(_SLOT_LEDGER)
