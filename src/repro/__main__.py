@@ -22,10 +22,17 @@ Commands
 ``report OUT.md [--quick]``
     Full campaign report written to a markdown file.
 ``campaign A,B [C,D ...] [--schemes S1,S2] [--workers N] [--progress]
-[--obs] [--phase-interval N] [--artifacts DIR]``
+[--obs] [--phase-interval N] [--artifacts DIR] [--timeout S]
+[--retries N] [--backoff S] [--resume] [--fault-plan PLAN.json]
+[--cache DIR]``
     A mixes×schemes grid fanned out over worker processes, with
     optional live heartbeat telemetry, per-cell stall reports, phase
-    sampling, and a per-cell run-artifact ledger under DIR.
+    sampling, and a per-cell run-artifact ledger under DIR.  Any of
+    ``--timeout/--retries/--resume/--fault-plan`` routes the grid
+    through the resilient executor (``repro.harness.resilience``):
+    hung or crashed cells are retried with backoff then quarantined,
+    completed cells checkpoint to a journal under the cache dir, and
+    ``--resume`` re-runs only the unfinished remainder.
 ``dash ARTIFACTS OUT.html [--title T]``
     Render an artifacts directory (or one artifact) into a
     self-contained HTML dashboard: SVG sparklines of the phase series,
@@ -213,16 +220,42 @@ def cmd_campaign(args) -> int:
             return 2
         mixes.append(WorkloadMix(tuple(get_profile(n) for n in names)))
     schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-    runner = ExperimentRunner(scaled_config())
+    resilient = (args.resume or args.fault_plan is not None
+                 or args.timeout is not None or args.retries is not None)
+    # The resilience layer checkpoints under the cache dir, so the
+    # resilient path defaults one on; the plain path keeps the
+    # historical cacheless default unless --cache asks otherwise.
+    cache_dir = args.cache or (".repro_cache" if resilient else None)
+    runner = ExperimentRunner(scaled_config(), cache_dir=cache_dir)
     telemetry = None
     if args.progress:
         from repro.obs import CampaignTelemetry
         telemetry = CampaignTelemetry()
     obs = args.obs or bool(args.phase_interval) or bool(args.artifacts)
-    outcomes = runner.run_campaign(mixes, schemes, workers=args.workers,
-                                   obs=obs, progress=telemetry,
-                                   phase_interval=args.phase_interval,
-                                   artifacts_dir=args.artifacts)
+    report = None
+    if resilient:
+        from repro.harness.resilience import Quarantined, ResiliencePolicy
+        policy = ResiliencePolicy(
+            timeout_s=args.timeout,
+            retries=args.retries if args.retries is not None else 2,
+            backoff_s=args.backoff)
+        outcomes, report = runner.run_campaign_resilient(
+            mixes, schemes, policy=policy, workers=args.workers,
+            obs=obs, progress=telemetry,
+            phase_interval=args.phase_interval,
+            artifacts_dir=args.artifacts, resume=args.resume,
+            fault_plan=args.fault_plan)
+        quarantined = [o for o in outcomes if isinstance(o, Quarantined)]
+        outcomes = [o for o in outcomes if not isinstance(o, Quarantined)]
+        print(report.summary(), file=sys.stderr)
+        for placeholder in quarantined:
+            print(f"  quarantined: {placeholder.label} "
+                  f"({', '.join(placeholder.faults)})", file=sys.stderr)
+    else:
+        outcomes = runner.run_campaign(mixes, schemes, workers=args.workers,
+                                       obs=obs, progress=telemetry,
+                                       phase_interval=args.phase_interval,
+                                       artifacts_dir=args.artifacts)
     if telemetry is not None:
         print(telemetry.summary(), file=sys.stderr)
     rows = [[o.mix_name, o.scheme, str(o.partition), o.weighted_speedup,
@@ -432,6 +465,30 @@ def main(argv=None) -> int:
                           help="write one run-artifact JSON per cell plus "
                                "a ledger.json index under DIR "
                                "(implies --obs)")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          metavar="S",
+                          help="per-job wall-clock budget in seconds; a "
+                               "worker past it is killed and the cell "
+                               "retried (enables the resilient executor)")
+    campaign.add_argument("--retries", type=int, default=None, metavar="N",
+                          help="extra attempts per failed cell before "
+                               "quarantine (default 2; enables the "
+                               "resilient executor)")
+    campaign.add_argument("--backoff", type=float, default=0.25,
+                          metavar="S",
+                          help="base retry backoff in seconds, doubled "
+                               "per attempt (default 0.25)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="replay the checkpoint journal under the "
+                               "cache dir and re-run only unfinished/"
+                               "quarantined cells")
+    campaign.add_argument("--fault-plan", metavar="PLAN.json", default=None,
+                          help="deterministic fault-injection plan for "
+                               "chaos testing (see docs/RESILIENCE.md)")
+    campaign.add_argument("--cache", metavar="DIR", default=None,
+                          help="cache directory (default: .repro_cache "
+                               "when a resilience flag is active, else "
+                               "none)")
     campaign.set_defaults(fn=cmd_campaign)
 
     dash = sub.add_parser("dash")

@@ -1,6 +1,7 @@
 """Experiment harness: cached isolated profiling, the scheme registry
-(spatial / leftover / WS / SMK × BMI / MIL / UCP), and one driver per
-paper table/figure."""
+(spatial / leftover / WS / SMK × BMI / MIL / UCP), one driver per
+paper table/figure, and the resilient campaign executor (checkpoint
+journal, retry/quarantine, deterministic fault injection)."""
 
 from repro.harness.runner import (
     ExperimentRunner,
@@ -16,6 +17,17 @@ from repro.harness.reporting import (
     geomean,
     write_report,
 )
+from repro.harness.resilience import (
+    CampaignJournal,
+    FaultPlan,
+    FaultSpec,
+    JobError,
+    Quarantined,
+    ResiliencePolicy,
+    ResilienceReport,
+    run_campaign_resilient,
+    run_jobs_resilient,
+)
 from repro.harness import experiments
 
 __all__ = [
@@ -30,4 +42,13 @@ __all__ = [
     "format_series",
     "geomean",
     "experiments",
+    "CampaignJournal",
+    "FaultPlan",
+    "FaultSpec",
+    "JobError",
+    "Quarantined",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "run_campaign_resilient",
+    "run_jobs_resilient",
 ]

@@ -118,6 +118,7 @@ class PoolConfig:
 # ----------------------------------------------------------------------
 # worker-side execution
 _WORKER_RUNNER: Optional[ExperimentRunner] = None
+_WORKER_FAULT_PLAN = None
 
 
 def _init_worker(config, settings: RunnerSettings, cache_dir: Optional[str],
@@ -129,25 +130,59 @@ def _init_worker(config, settings: RunnerSettings, cache_dir: Optional[str],
     Constructing the runner also points the kernel-trace disk cache at
     ``cache_dir/traces-v<CACHE_VERSION>`` (see ``ExperimentRunner``),
     so workers share compiled trace chunks with the parent and a
-    version bump invalidates both caches together."""
-    global _WORKER_RUNNER
+    version bump invalidates both caches together.
+
+    Fault injection activates here too: when ``$REPRO_FAULT_PLAN``
+    names a plan file (see :mod:`repro.harness.resilience`), the worker
+    loads it once at init and the resilient executor's worker loop
+    consults it around every job.  An unreadable plan is an init
+    error, never a silent fault-free run."""
+    global _WORKER_RUNNER, _WORKER_FAULT_PLAN
     runner = ExperimentRunner(config, settings, cache_dir=cache_dir)
     for cycles, record in iso_seed:
         _install_iso(runner, record, cycles)
     for curve in curve_seed:
         _install_curve(runner, curve)
     _WORKER_RUNNER = runner
+    from repro.harness.resilience import FaultPlan
+    _WORKER_FAULT_PLAN = FaultPlan.from_env()
+
+
+def _worker_fault_plan(load: bool = False):
+    """The fault plan this process loaded at ``_init_worker`` time.
+    ``load=True`` (the serial in-process path, where no worker init
+    ever runs) re-reads ``$REPRO_FAULT_PLAN`` fresh instead."""
+    if load:
+        from repro.harness.resilience import FaultPlan
+        return FaultPlan.from_env()
+    return _WORKER_FAULT_PLAN
+
+
+def _wrap_job_error(job: Job, exc: Exception):
+    """Re-raise ``exc`` as a picklable JobError carrying the full
+    formatted worker-side traceback — the bare exception the pool used
+    to ship home loses the stack in transit."""
+    from repro.harness.resilience import JobError
+    if isinstance(exc, JobError):
+        raise exc
+    raise JobError.from_exception(_job_label(job), exc) from None
 
 
 def _run_job_in_worker(job: Job):
-    return execute_job(_WORKER_RUNNER, job)
+    try:
+        return execute_job(_WORKER_RUNNER, job)
+    except Exception as exc:
+        _wrap_job_error(job, exc)
 
 
 def _run_job_in_worker_timed(job: Job):
     """Like :func:`_run_job_in_worker` but also reports the worker-side
     wall-clock seconds, for campaign telemetry heartbeats."""
     start = time.perf_counter()
-    result = execute_job(_WORKER_RUNNER, job)
+    try:
+        result = execute_job(_WORKER_RUNNER, job)
+    except Exception as exc:
+        _wrap_job_error(job, exc)
     return result, time.perf_counter() - start
 
 

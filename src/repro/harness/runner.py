@@ -277,6 +277,34 @@ class ExperimentRunner:
                             phase_interval=phase_interval,
                             artifacts_dir=artifacts_dir)
 
+    def run_campaign_resilient(self, mixes: Sequence[WorkloadMix],
+                               schemes: Sequence[str],
+                               policy=None,
+                               workers: Optional[int] = None,
+                               cycles: Optional[int] = None,
+                               obs: bool = False,
+                               progress=None,
+                               phase_interval: Optional[int] = None,
+                               artifacts_dir: Optional[str] = None,
+                               journal_path: Optional[str] = None,
+                               resume: bool = False,
+                               fault_plan: Optional[str] = None):
+        """Like :meth:`run_campaign`, but under the resilience layer
+        (:mod:`repro.harness.resilience`): per-job timeouts, retry with
+        backoff, dead-worker respawn, quarantine instead of abort, and
+        a checkpoint journal under the cache dir that ``resume=True``
+        replays so only unfinished/quarantined cells re-run.  Returns
+        ``(outcomes, report)``; quarantined cells appear as
+        :class:`~repro.harness.resilience.Quarantined` placeholders,
+        everything else is bit-identical to :meth:`run_campaign`."""
+        from repro.harness.resilience import run_campaign_resilient
+        return run_campaign_resilient(
+            self, mixes, schemes, policy=policy, workers=workers,
+            cycles=cycles, obs=obs, progress=progress,
+            phase_interval=phase_interval, artifacts_dir=artifacts_dir,
+            journal_path=journal_path, resume=resume,
+            fault_plan=fault_plan)
+
     # ------------------------------------------------------------------
     # scheme resolution
     def resolve_scheme(self, name: str, profiles: Sequence[KernelProfile]

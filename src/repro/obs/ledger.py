@@ -52,9 +52,17 @@ def current_git_sha(root: Optional[str] = None) -> Optional[str]:
 
 
 def artifact_from_outcome(outcome, config=None, settings=None,
-                          git_sha: Optional[str] = None) -> Dict[str, object]:
+                          git_sha: Optional[str] = None,
+                          provenance: Optional[Dict[str, object]] = None
+                          ) -> Dict[str, object]:
     """Build one artifact dict from a harness
-    :class:`~repro.harness.runner.WorkloadOutcome`."""
+    :class:`~repro.harness.runner.WorkloadOutcome`.
+
+    ``provenance`` (resilient campaigns only) records how the cell was
+    obtained — attempts, journal resume, absorbed faults.  It is only
+    embedded when degradation actually happened, so a fault-free
+    resilient campaign emits artifacts byte-identical to the plain
+    executor's (and to committed goldens)."""
     result = outcome.result
     obs = result.obs
     slots = list(range(len(result.kernel_names)))
@@ -80,7 +88,7 @@ def artifact_from_outcome(outcome, config=None, settings=None,
         lsu_shares = {reason: (count / total_lsu if total_lsu else 0.0)
                       for reason, count in table.lsu_by_reason().items()}
         phases = list(obs.phases)
-    return {
+    artifact: Dict[str, object] = {
         "artifact_version": ARTIFACT_VERSION,
         "kind": "run",
         "workload": outcome.mix_name,
@@ -98,6 +106,9 @@ def artifact_from_outcome(outcome, config=None, settings=None,
         "lsu_stall_shares": lsu_shares,
         "phases": phases,
     }
+    if provenance is not None:
+        artifact["provenance"] = provenance
+    return artifact
 
 
 def artifact_slug(workload: str, scheme: str) -> str:
@@ -133,15 +144,26 @@ def write_artifact(directory: str, artifact: Dict[str, object]) -> str:
 
 
 def write_artifacts(directory: str,
-                    artifacts: Sequence[Dict[str, object]]) -> List[str]:
-    """Write a set of artifacts plus the ``ledger.json`` index."""
+                    artifacts: Sequence[Dict[str, object]],
+                    campaign: Optional[Dict[str, object]] = None
+                    ) -> List[str]:
+    """Write a set of artifacts plus the ``ledger.json`` index.
+
+    ``campaign`` (resilient campaigns only) embeds a degradation block
+    in the index — ``campaign.retries``, ``campaign.quarantined``,
+    ``campaign.resumed`` and the journal name — so a ledger records
+    not just what was measured but how bumpy the measuring was.  A
+    fault-free plain campaign writes the index unchanged."""
     paths = [write_artifact(directory, artifact) for artifact in artifacts]
     entries = [{"workload": artifact["workload"],
                 "scheme": artifact["scheme"],
                 "file": os.path.basename(path)}
                for artifact, path in zip(artifacts, paths)]
     entries.sort(key=lambda entry: entry["file"])
-    index = {"artifact_version": ARTIFACT_VERSION, "entries": entries}
+    index: Dict[str, object] = {"artifact_version": ARTIFACT_VERSION,
+                                "entries": entries}
+    if campaign is not None:
+        index["campaign"] = campaign
     _atomic_write_json(os.path.join(directory, INDEX_NAME), index)
     return paths
 

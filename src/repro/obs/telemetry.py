@@ -25,7 +25,15 @@ from typing import IO, List, Optional
 
 @dataclass(frozen=True)
 class JobHeartbeat:
-    """One completed campaign job, as seen by the dispatching parent."""
+    """One campaign job event, as seen by the dispatching parent.
+
+    Most beats are completions (``event="done"``); the resilient
+    executor (:mod:`repro.harness.resilience`) additionally emits
+    ``"retry"`` (an attempt failed, the cell will run again — not a
+    completion), ``"quarantined"`` (retry budget exhausted, the cell's
+    slot holds a placeholder) and ``"resumed"`` (replayed from the
+    checkpoint journal without executing).
+    """
 
     index: int          #: 1-based completion index
     total: int          #: total jobs in the campaign
@@ -33,12 +41,21 @@ class JobHeartbeat:
     duration_s: float   #: wall-clock seconds inside the worker (0 if cached)
     sim_cycles: int     #: simulated cycles the job covers (its budget)
     cache_hit: bool = False
+    attempt: int = 1    #: 1-based attempt number (resilient executor)
+    event: str = "done"           #: done | retry | quarantined | resumed
+    fault: Optional[str] = None   #: what failed, e.g. ``"timeout"``
 
     @property
     def cycles_per_s(self) -> float:
         if self.cache_hit or self.duration_s <= 0:
             return 0.0
         return self.sim_cycles / self.duration_s
+
+    @property
+    def completed(self) -> bool:
+        """Whether this beat fills the cell's result slot (retry beats
+        report churn, not progress)."""
+        return self.event != "retry"
 
 
 class CampaignTelemetry:
@@ -57,15 +74,30 @@ class CampaignTelemetry:
         self._sim_cycles_done = 0
         self._busy_seconds = 0.0
         self._cache_hits = 0
+        self._completed = 0
+        self._retries = 0
+        self._quarantined = 0
+        self._resumed = 0
 
     # ------------------------------------------------------------------
     def __call__(self, beat: JobHeartbeat) -> None:
         self.heartbeats.append(beat)
-        if beat.cache_hit:
-            self._cache_hits += 1
+        if not beat.completed:
+            # A failed attempt: churn, not progress.  Its wall-clock is
+            # excluded from the pace estimate — retried work shows up
+            # again in the successful attempt's beat.
+            self._retries += 1
         else:
-            self._sim_cycles_done += beat.sim_cycles
-            self._busy_seconds += beat.duration_s
+            self._completed += 1
+            if beat.event == "quarantined":
+                self._quarantined += 1
+            elif beat.event == "resumed":
+                self._resumed += 1
+            if beat.cache_hit:
+                self._cache_hits += 1
+            else:
+                self._sim_cycles_done += beat.sim_cycles
+                self._busy_seconds += beat.duration_s
         if not self.quiet:
             self.stream.write(self.format_beat(beat) + "\n")
             self.stream.flush()
@@ -74,11 +106,23 @@ class CampaignTelemetry:
     # derived figures
     @property
     def jobs_done(self) -> int:
-        return len(self.heartbeats)
+        return self._completed
 
     @property
     def cache_hits(self) -> int:
         return self._cache_hits
+
+    @property
+    def retries(self) -> int:
+        return self._retries
+
+    @property
+    def quarantined(self) -> int:
+        return self._quarantined
+
+    @property
+    def resumed(self) -> int:
+        return self._resumed
 
     def elapsed_s(self) -> float:
         return time.monotonic() - self._started
@@ -121,8 +165,15 @@ class CampaignTelemetry:
         pct = 100.0 * beat.index / beat.total if beat.total else 0.0
         head = f"[{beat.index:3d}/{beat.total:<3d} {pct:5.1f}%]"
         label = beat.label if len(beat.label) <= 28 else beat.label[:25] + "..."
+        if beat.event == "retry":
+            return (f"{head} {label:<36} !retry: attempt "
+                    f"{beat.attempt} failed ({beat.fault})")
+        if beat.event == "quarantined":
+            return (f"{head} {label:<36} !quarantined after "
+                    f"{beat.attempt} attempts ({beat.fault})")
         if beat.cache_hit:
-            mid = f"{label + ' (cache)':<36} {beat.duration_s:6.2f}s"
+            marker = " (journal)" if beat.event == "resumed" else " (cache)"
+            mid = f"{label + marker:<36} {beat.duration_s:6.2f}s"
             rate = " " * 11
         else:
             mid = f"{label:<36} {beat.duration_s:6.2f}s"
@@ -145,6 +196,12 @@ class CampaignTelemetry:
         bits = [f"{done} jobs in {elapsed:.1f}s"]
         if self._cache_hits:
             bits.append(f"{self._cache_hits} cached")
+        if self._resumed:
+            bits.append(f"{self._resumed} resumed")
+        if self._retries:
+            bits.append(f"{self._retries} retries")
+        if self._quarantined:
+            bits.append(f"{self._quarantined} quarantined")
         if rate >= 1e6:
             bits.append(f"{rate / 1e6:.1f}M sim-cycles/s per worker")
         elif rate:
